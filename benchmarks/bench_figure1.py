@@ -1,0 +1,43 @@
+"""Figure 1 reproduction benchmark: quality-vs-time traces of the three
+metaheuristics against the best spectral/multilevel reference lines.
+
+The benchmark times one budgeted run per metaheuristic and attaches the
+improvement trace (Mcut at each new best) plus the reference lines as
+extra_info, so a benchmark JSON dump contains everything needed to replot
+Figure 1.
+
+Run: ``pytest benchmarks/bench_figure1.py --benchmark-only``
+Full-scale CLI: ``python -m repro.bench.figure1 --budget 600``
+"""
+
+import pytest
+
+from repro.bench.figure1 import reference_lines, trace_metaheuristic
+
+
+@pytest.fixture(scope="module")
+def refs(atc_graph, bench_k):
+    return reference_lines(atc_graph, bench_k, seed=2006)
+
+
+@pytest.mark.parametrize(
+    "method", ["simulated-annealing", "ant-colony", "fusion-fission"]
+)
+def test_metaheuristic_trace(benchmark, atc_graph, bench_k, meta_budget,
+                             refs, method):
+    trace = benchmark.pedantic(
+        lambda: trace_metaheuristic(
+            method, atc_graph, bench_k, budget=meta_budget, seed=2006
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert trace.values, "metaheuristic produced no improvement events"
+    benchmark.extra_info["final_mcut"] = trace.values[-1]
+    benchmark.extra_info["first_mcut"] = trace.values[0]
+    benchmark.extra_info["trace_times"] = [round(t, 3) for t in trace.times]
+    benchmark.extra_info["trace_values"] = [round(v, 3) for v in trace.values]
+    benchmark.extra_info["best_spectral"] = refs["spectral"]
+    benchmark.extra_info["best_multilevel"] = refs["multilevel"]
+    # Figure-1 shape assertion: the metaheuristic improves over time.
+    assert trace.values[-1] <= trace.values[0]

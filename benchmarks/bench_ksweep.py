@@ -1,0 +1,25 @@
+"""§6 claim benchmark: one fusion–fission run yields good partitions for a
+*range* of part counts around the target ("from 27 to 38 partitions" for
+k = 32 in the paper).
+
+Run: ``pytest benchmarks/bench_ksweep.py --benchmark-only``
+Full-scale CLI: ``python -m repro.bench.ksweep``
+"""
+
+from repro.bench.ksweep import run_ksweep
+
+
+def test_fusion_fission_k_range(benchmark, atc_graph, bench_k, meta_budget):
+    profile = benchmark.pedantic(
+        lambda: run_ksweep(
+            k=bench_k, graph=atc_graph, seed=2006,
+            max_steps=10**9, time_budget=meta_budget,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    near = {kk: v for kk, v in profile.items() if abs(kk - bench_k) <= 3}
+    benchmark.extra_info["profile"] = {str(k): round(v, 2) for k, v in profile.items()}
+    # The sweep must cover a window around the target, not just the target.
+    assert bench_k in profile
+    assert len(near) >= 3

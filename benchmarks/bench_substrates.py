@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the substrates the reproduction is built on.
+
+These keep the performance-critical primitives honest (the hpc-parallel
+guides: measure, don't guess): CSR construction, partition bookkeeping,
+vertex moves, eigensolvers, percolation floods and coarsening on
+paper-scale inputs.
+
+Run: ``pytest benchmarks/bench_substrates.py --benchmark-only``
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_graph, laplacian_matrix
+from repro.multilevel.coarsening import build_hierarchy
+from repro.partition import McutObjective, Partition
+from repro.percolation import percolation_bonds
+from repro.refine import fm_refine
+from repro.spectral import lanczos_smallest
+
+
+@pytest.fixture(scope="module")
+def atc_partition(atc_graph, bench_k):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, bench_k, atc_graph.num_vertices)
+    a[: bench_k] = np.arange(bench_k)
+    return Partition(atc_graph, a)
+
+
+def test_graph_construction(benchmark, atc_graph):
+    u, v, w = atc_graph.edge_arrays()
+    from repro.graph import Graph
+
+    benchmark(lambda: Graph.from_arrays(atc_graph.num_vertices, u, v, w))
+
+
+def test_partition_construction(benchmark, atc_graph, bench_k):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, bench_k, atc_graph.num_vertices)
+    a[: bench_k] = np.arange(bench_k)
+    benchmark(lambda: Partition(atc_graph, a))
+
+
+def test_vertex_moves(benchmark, atc_partition):
+    rng = np.random.default_rng(1)
+    n = atc_partition.graph.num_vertices
+    k = atc_partition.num_parts
+
+    def do_moves():
+        p = atc_partition.copy()
+        for _ in range(1000):
+            v = int(rng.integers(n))
+            t = int(rng.integers(k))
+            if p.size[p.part_of(v)] > 1:
+                p.move(v, t, allow_empty_source=False)
+
+    benchmark(do_moves)
+
+
+def test_mcut_delta_evaluation(benchmark, atc_partition):
+    obj = McutObjective()
+    rng = np.random.default_rng(2)
+    n = atc_partition.graph.num_vertices
+    k = atc_partition.num_parts
+
+    def do_deltas():
+        for _ in range(1000):
+            obj.delta_move(
+                atc_partition, int(rng.integers(n)), int(rng.integers(k))
+            )
+
+    benchmark(do_deltas)
+
+
+def test_lanczos_fiedler(benchmark, atc_graph):
+    lap = laplacian_matrix(atc_graph)
+    n = atc_graph.num_vertices
+    deflate = np.full((n, 1), 1.0 / np.sqrt(n))
+    benchmark(
+        lambda: lanczos_smallest(lap, num_eigenpairs=1, deflate=deflate, seed=0)
+    )
+
+
+def test_percolation_flood(benchmark, atc_graph, bench_k):
+    rng = np.random.default_rng(3)
+    centers = rng.choice(atc_graph.num_vertices, size=bench_k, replace=False)
+    benchmark(lambda: percolation_bonds(atc_graph, centers))
+
+
+def test_coarsening_hierarchy(benchmark, atc_graph):
+    benchmark(lambda: build_hierarchy(atc_graph, min_vertices=128, seed=0))
+
+
+def test_fm_pass_grid(benchmark):
+    g = grid_graph(32, 32)
+    rng = np.random.default_rng(4)
+
+    def run():
+        p = Partition(g, rng.integers(0, 8, 1024))
+        fm_refine(p, max_passes=1)
+
+    benchmark(run)

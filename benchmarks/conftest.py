@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run on a reduced-scale ATC instance by default so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes.  The
+full-scale paper reproduction (762 vertices, generous metaheuristic
+budgets) is what ``python -m repro.bench.table1`` / ``figure1`` run; set
+``REPRO_BENCH_FULL=1`` to force the benchmarks onto the full instance too.
+"""
+
+import os
+
+import pytest
+
+from repro.atc.europe import core_area_graph
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: per-metaheuristic wall-clock budget inside the pytest-benchmark suite
+META_BUDGET = 20.0 if FULL else 3.0
+#: k for the suite (the paper's 32 on the full instance)
+BENCH_K = 32 if FULL else 8
+
+
+@pytest.fixture(scope="session")
+def atc_graph():
+    """The synthetic core-area flow graph (shared across benchmarks)."""
+    return core_area_graph(seed=2006)
+
+
+@pytest.fixture(scope="session")
+def bench_k():
+    return BENCH_K
+
+
+@pytest.fixture(scope="session")
+def meta_budget():
+    return META_BUDGET

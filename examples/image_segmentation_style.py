@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Data-clustering / image-segmentation-style partitioning with Ncut.
+
+Paper §1 lists data clustering and image segmentation among the
+applications of graph partitioning; Shi & Malik's normalised cut (the
+paper's Ncut criterion) is the canonical formulation.  This example builds
+a pixel-lattice graph whose edge weights encode intensity similarity of a
+synthetic two-region "image", then compares the spectral Ncut relaxation
+against fusion-fission optimising Ncut directly.
+
+Run:  python examples/image_segmentation_style.py
+"""
+
+import numpy as np
+
+from repro import FusionFissionPartitioner, NcutObjective, SpectralPartitioner
+from repro.graph import Graph
+
+
+def synthetic_image(side: int = 24, seed: int = 3) -> np.ndarray:
+    """A noisy image with a bright diagonal region on a dark background."""
+    rng = np.random.default_rng(seed)
+    image = np.full((side, side), 0.2)
+    for r in range(side):
+        for c in range(side):
+            if r + c < side:
+                image[r, c] = 0.8
+    return image + rng.normal(scale=0.05, size=image.shape)
+
+
+def pixel_graph(image: np.ndarray, sigma: float = 0.1) -> Graph:
+    """4-connected lattice; weight = Gaussian intensity similarity."""
+    side = image.shape[0]
+    ids = np.arange(side * side).reshape(side, side)
+    edges = []
+    for du, dv, su, sv in (
+        (ids[:, :-1], ids[:, 1:], image[:, :-1], image[:, 1:]),
+        (ids[:-1, :], ids[1:, :], image[:-1, :], image[1:, :]),
+    ):
+        for a, b, ia, ib in zip(du.ravel(), dv.ravel(), su.ravel(), sv.ravel()):
+            weight = float(np.exp(-((ia - ib) ** 2) / (2 * sigma**2)))
+            edges.append((int(a), int(b), max(weight, 1e-3)))
+    return Graph.from_edges(side * side, edges)
+
+
+def segment_accuracy(assignment: np.ndarray, image: np.ndarray) -> float:
+    """Best-label-matching accuracy against the ground-truth two regions."""
+    side = image.shape[0]
+    truth = np.array(
+        [1 if r + c < side else 0 for r in range(side) for c in range(side)]
+    )
+    acc = max(
+        float(np.mean(assignment == truth)),
+        float(np.mean(assignment == 1 - truth)),
+    )
+    return acc
+
+
+def main() -> None:
+    image = synthetic_image()
+    graph = pixel_graph(image)
+    print(f"pixel graph: {graph.num_vertices} pixels, {graph.num_edges} edges\n")
+
+    ncut = NcutObjective()
+    spectral = SpectralPartitioner(k=2, criterion="ncut")
+    sp = spectral.partition(graph, seed=0)
+    print(f"spectral Ncut relaxation : Ncut={ncut.value(sp):.4f} "
+          f"accuracy={segment_accuracy(sp.assignment, image):.1%}")
+
+    ff = FusionFissionPartitioner(k=2, objective="ncut", max_steps=1500)
+    fp = ff.partition(graph, seed=0)
+    print(f"fusion-fission on Ncut   : Ncut={ncut.value(fp):.4f} "
+          f"accuracy={segment_accuracy(fp.assignment, image):.1%}")
+
+    print("\n(the metaheuristic optimises the discrete Ncut directly; the "
+          "spectral method optimises its continuous relaxation — paper §1-2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments with old setuptools (no PEP 660 support).
+
+``pip install -e . --no-build-isolation`` needs setuptools >= 64 plus the
+``wheel`` package; this shim lets ``python setup.py develop`` work offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

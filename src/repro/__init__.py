@@ -1,0 +1,79 @@
+"""repro — a faithful reimplementation of Bichot's fusion–fission
+metaheuristic for graph partitioning (IPPS 2006) and every system it is
+evaluated against.
+
+Quickstart
+----------
+>>> from repro import core_area_graph, FusionFissionPartitioner
+>>> graph = core_area_graph(seed=2006)          # 762 sectors, 3165 flows
+>>> ff = FusionFissionPartitioner(k=32, max_steps=2000)
+>>> blocks = ff.partition(graph, seed=0)        # doctest: +SKIP
+
+Package map
+-----------
+``repro.graph``          CSR graph substrate, I/O, generators
+``repro.partition``      partition state + Cut/Ncut/Mcut objectives
+``repro.refine``         Kernighan–Lin / Fiduccia–Mattheyses refinement
+``repro.spectral``       Lanczos & RQI spectral partitioners
+``repro.multilevel``     coarsen / partition / uncoarsen pipeline
+``repro.percolation``    the paper's flooding heuristic
+``repro.annealing``      simulated annealing (paper §3.1 adaptation)
+``repro.antcolony``      k competing ant colonies (paper §3.2 adaptation)
+``repro.fusionfission``  the paper's contribution (§4)
+``repro.atc``            the FABOP air-traffic application (§5)
+``repro.bench``          Table-1 / Figure-1 reproduction harness
+"""
+
+from repro.graph import Graph, GraphBuilder
+from repro.partition import (
+    Partition,
+    CutObjective,
+    NcutObjective,
+    McutObjective,
+    get_objective,
+    evaluate_partition,
+)
+from repro.refine import kl_refine, fm_refine, greedy_balance
+from repro.spectral import SpectralPartitioner, LinearPartitioner
+from repro.multilevel import MultilevelPartitioner
+from repro.percolation import PercolationPartitioner
+from repro.annealing import SimulatedAnnealingPartitioner
+from repro.antcolony import AntColonyPartitioner
+from repro.fusionfission import FusionFissionPartitioner
+from repro.atc import core_area_graph, core_area_network, build_blocks, block_report
+from repro.bench import make_partitioner
+from repro.graph.analysis import modularity, conductance
+from repro.viz import render_partition_svg, render_traces_svg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Partition",
+    "CutObjective",
+    "NcutObjective",
+    "McutObjective",
+    "get_objective",
+    "evaluate_partition",
+    "kl_refine",
+    "fm_refine",
+    "greedy_balance",
+    "SpectralPartitioner",
+    "LinearPartitioner",
+    "MultilevelPartitioner",
+    "PercolationPartitioner",
+    "SimulatedAnnealingPartitioner",
+    "AntColonyPartitioner",
+    "FusionFissionPartitioner",
+    "core_area_graph",
+    "core_area_network",
+    "build_blocks",
+    "block_report",
+    "make_partitioner",
+    "modularity",
+    "conductance",
+    "render_partition_svg",
+    "render_traces_svg",
+    "__version__",
+]

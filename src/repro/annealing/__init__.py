@@ -1,0 +1,19 @@
+"""Simulated annealing for k-partitioning (paper §3.1).
+
+The paper's own adaptation (it differs from Ercal et al.'s earlier SA): the
+perturbation picks a random vertex and moves it to another part — the part
+with the lowest internal weight when the temperature is high, a random
+*connected* part when it is low.  Equilibrium at a temperature is declared
+after a fixed number of refusals, and the temperature then decays
+geometrically until the freezing point.
+"""
+
+from repro.annealing.schedule import GeometricCooling, LinearCooling
+from repro.annealing.sa import SimulatedAnnealingPartitioner, anneal
+
+__all__ = [
+    "GeometricCooling",
+    "LinearCooling",
+    "SimulatedAnnealingPartitioner",
+    "anneal",
+]

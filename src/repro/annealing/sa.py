@@ -1,0 +1,224 @@
+"""The paper's simulated-annealing adaptation to k-partitioning.
+
+Faithful to §3.1:
+
+* **Perturbation** — pick a uniformly random vertex.  If the temperature is
+  *high* (above the midpoint of the schedule), move it to the part with the
+  lowest internal weight ("the lowest partition regarding the sum of edges
+  weight which are entirely inside partitions"); otherwise move it to a
+  random part among those it is connected to.  Connectivity of parts is
+  *not* forced.
+* **Acceptance** — Metropolis: accept improving moves, accept worsening
+  moves with probability ``exp((e(s) - e(s')) / T)``.
+* **Equilibrium** — a fixed number of *refused* moves at the current
+  temperature triggers a cooling step.
+* **Stop** — freezing point ``T <= tmin`` (or an optional wall-clock
+  deadline / step cap for the Figure-1 harness), returning the best
+  solution seen.
+
+Moves that would empty a part are rejected outright so ``k`` stays fixed
+(SA is the paper's fixed-k baseline; changing k is fusion–fission's trick).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.timer import Deadline
+from repro.graph.graph import Graph
+from repro.partition.objectives import Objective, get_objective
+from repro.partition.partition import Partition
+
+__all__ = ["SimulatedAnnealingPartitioner", "anneal"]
+
+
+def anneal(
+    partition: Partition,
+    objective: Objective | str = "mcut",
+    tmax: float = 1.0,
+    tmin: float = 0.0,
+    cooling_ratio: float = 0.95,
+    equilibrium_refusals: int = 50,
+    freeze_epsilon: float = 1e-3,
+    max_steps: int | None = None,
+    time_budget: float | None = None,
+    seed: SeedLike = None,
+    on_improvement: Callable[[float, Partition], None] | None = None,
+) -> tuple[Partition, float]:
+    """Anneal ``partition`` in place; return ``(best_partition, best_energy)``.
+
+    Parameters
+    ----------
+    partition:
+        Starting solution (modified during the search; the returned best is
+        a copy).
+    objective:
+        Energy function (name or instance); lower is better.
+    tmax, tmin:
+        Temperature range.  The paper's single-parameter usage sets
+        ``tmin = 0``; the geometric ratio is then ``cooling_ratio``.
+    cooling_ratio:
+        Ceiling on the geometric decay ``(tmax - tmin)/tmax`` (see
+        :class:`~repro.annealing.schedule.GeometricCooling`).
+    equilibrium_refusals:
+        Refused moves at one temperature before cooling.
+    freeze_epsilon:
+        Freezing point as a fraction of ``tmax`` when ``tmin = 0``.
+    max_steps, time_budget:
+        Optional extra stopping criteria (whichever hits first).
+    on_improvement:
+        Callback ``(energy, partition)`` fired whenever a new best is
+        found — the Figure-1 harness uses it to record quality-vs-time.
+
+    Notes
+    -----
+    Energies are tracked incrementally through
+    :meth:`Objective.delta_move`; a full re-evaluation never happens inside
+    the loop (hpc-parallel guide: no per-step O(n) work).
+    """
+    obj = get_objective(objective)
+    rng = ensure_rng(seed)
+    if tmax <= 0:
+        raise ConfigurationError(f"tmax must be > 0, got {tmax}")
+    if tmin < 0 or tmin >= tmax:
+        raise ConfigurationError(
+            f"need 0 <= tmin < tmax, got tmin={tmin}, tmax={tmax}"
+        )
+    ratio = (tmax - tmin) / tmax
+    ratio = min(ratio, cooling_ratio)
+    freeze = max(tmin, freeze_epsilon * tmax)
+    midpoint = 0.5 * (tmax + tmin)
+    deadline = Deadline(time_budget)
+
+    graph = partition.graph
+    n = graph.num_vertices
+    energy = obj.value(partition)
+    best = partition.copy()
+    best_energy = energy
+    t = tmax
+    refusals = 0
+    steps = 0
+
+    while True:
+        if t <= freeze:
+            # Frozen.  With a wall-clock budget the paper's metaheuristics
+            # "can run infinitely": reheat and continue from the best
+            # solution; without a budget, freezing is the stop criterion.
+            if time_budget is None or deadline.expired():
+                break
+            partition = best.copy()
+            energy = best_energy
+            t = tmax
+            refusals = 0
+        if max_steps is not None and steps >= max_steps:
+            break
+        if deadline.expired():
+            break
+        steps += 1
+        v = int(rng.integers(n))
+        source = partition.part_of(v)
+        if partition.size[source] <= 1:
+            continue  # never empty a part
+        if t > midpoint:
+            # Hot: target the part with the lowest internal weight.
+            target = int(np.argmin(partition.internal))
+            if target == source:
+                order = np.argsort(partition.internal)
+                target = int(order[1]) if order.shape[0] > 1 else source
+        else:
+            # Cold: random connected part.
+            w_parts = partition.neighbor_part_weights(v)
+            w_parts[source] = 0.0
+            candidates = np.flatnonzero(w_parts > 0.0)
+            if candidates.size == 0:
+                continue
+            target = int(candidates[rng.integers(candidates.size)])
+        if target == source:
+            continue
+        delta = obj.delta_move(partition, v, target)
+        accept = delta <= 0.0
+        if not accept and np.isfinite(delta):
+            accept = math.exp(-delta / t) > rng.random()
+        if accept:
+            partition.move(v, target, allow_empty_source=False)
+            if np.isfinite(delta) and np.isfinite(energy):
+                energy += delta
+            else:
+                # Moves out of an inf-energy state (e.g. an Mcut part with
+                # no internal edges) need a fresh evaluation.
+                energy = obj.value(partition)
+            if energy < best_energy - 1e-12:
+                # Guard against float drift on long runs.
+                energy = obj.value(partition)
+                if energy < best_energy - 1e-12:
+                    best = partition.copy()
+                    best_energy = energy
+                    if on_improvement is not None:
+                        on_improvement(best_energy, best)
+        else:
+            refusals += 1
+            if refusals >= equilibrium_refusals:
+                refusals = 0
+                t *= ratio
+    return best, best_energy
+
+
+@dataclass
+class SimulatedAnnealingPartitioner:
+    """Table 1's "Simulated annealing" row.
+
+    Starts from the percolation partition (paper §4.4: percolation
+    initialises SA and ant colony), then runs :func:`anneal`.
+
+    Attributes
+    ----------
+    k:
+        Number of parts (any natural number — metaheuristics are not
+        limited to powers of two).
+    objective:
+        Energy criterion; the ATC study uses ``"mcut"``.
+    tmax:
+        The single tuning parameter the paper highlights.
+    """
+
+    k: int
+    objective: str = "mcut"
+    tmax: float = 1.0
+    tmin: float = 0.0
+    cooling_ratio: float = 0.95
+    equilibrium_refusals: int = 50
+    max_steps: int | None = None
+    time_budget: float | None = None
+
+    name = "simulated-annealing"
+
+    def partition(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> Partition:
+        """Percolation init + annealing."""
+        from repro.percolation.percolation import PercolationPartitioner
+
+        rng = ensure_rng(seed)
+        start = PercolationPartitioner(k=self.k).partition(graph, seed=rng)
+        best, _ = anneal(
+            start,
+            objective=self.objective,
+            tmax=self.tmax,
+            tmin=self.tmin,
+            cooling_ratio=self.cooling_ratio,
+            equilibrium_refusals=self.equilibrium_refusals,
+            max_steps=self.max_steps,
+            time_budget=self.time_budget,
+            seed=rng,
+            on_improvement=on_improvement,
+        )
+        return best

@@ -1,0 +1,77 @@
+"""Cooling schedules.
+
+The paper gives ``D(T) = T * (tmax - tmin) / tmax`` — a geometric decay
+whose ratio is determined by the temperature range (and degenerates to "no
+cooling" at the paper's own suggested ``tmin = 0``, so the ratio is floored
+at a configurable value).  A linear schedule is provided for ablations and
+for the fusion–fission driver, whose §4.3 ``decrease(t)`` subtracts a fixed
+step ``(tmax - tmin) / nbt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import check_temperature_range
+
+__all__ = ["GeometricCooling", "LinearCooling"]
+
+
+@dataclass
+class GeometricCooling:
+    """``T -> ratio * T`` with ``ratio = (tmax - tmin)/tmax`` (paper §3.1).
+
+    With ``tmin = 0`` the formula yields ratio 1.0 (no cooling); the ratio
+    is therefore clamped to ``max_ratio`` (default 0.95).  Freezing is
+    declared at ``T <= freeze`` where ``freeze = max(tmin, epsilon)``.
+    """
+
+    tmax: float
+    tmin: float = 0.0
+    max_ratio: float = 0.95
+    epsilon: float = 1e-4
+
+    def __post_init__(self) -> None:
+        check_temperature_range(self.tmin, self.tmax)
+        ratio = (self.tmax - self.tmin) / self.tmax
+        self.ratio = min(ratio, self.max_ratio)
+        self.freeze = max(self.tmin, self.epsilon * self.tmax)
+
+    def initial(self) -> float:
+        """Starting temperature."""
+        return self.tmax
+
+    def next(self, t: float) -> float:
+        """Temperature after one cooling step."""
+        return t * self.ratio
+
+    def frozen(self, t: float) -> bool:
+        """True when the stopping criterion ``T <= tmin`` is reached."""
+        return t <= self.freeze
+
+
+@dataclass
+class LinearCooling:
+    """``T -> T - (tmax - tmin)/steps`` — fixed-step linear decay."""
+
+    tmax: float
+    tmin: float = 0.0
+    steps: int = 100
+
+    def __post_init__(self) -> None:
+        check_temperature_range(self.tmin, self.tmax)
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        self.step = (self.tmax - self.tmin) / self.steps
+
+    def initial(self) -> float:
+        """Starting temperature."""
+        return self.tmax
+
+    def next(self, t: float) -> float:
+        """Temperature after one cooling step."""
+        return t - self.step
+
+    def frozen(self, t: float) -> bool:
+        """True when the temperature reaches ``tmin``."""
+        return t <= self.tmin + 1e-12

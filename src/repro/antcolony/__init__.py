@@ -1,0 +1,16 @@
+"""Competing ant colonies for k-partitioning (paper §3.2).
+
+The paper's adaptation (different from Kuntz et al. and Langham & Grant):
+``k`` colonies — one per part — compete for food (vertex weight).  Each
+colony lays its own pheromone on edges; an ant only senses its colony's
+trails.  A vertex is owned by the colony with the largest pheromone sum on
+the vertex's incident edges.  A local heuristic pushes ants toward edges
+with no pheromone (exploration), trails evaporate over time, and colonies
+that discover better global partitions reinforce the edges internal to
+their territory (the "backward update" toward food).
+"""
+
+from repro.antcolony.pheromone import PheromoneField
+from repro.antcolony.colony import AntColonyPartitioner, ant_colony_search
+
+__all__ = ["PheromoneField", "AntColonyPartitioner", "ant_colony_search"]

@@ -1,0 +1,285 @@
+"""The k-competing-colonies search loop.
+
+One iteration (the three steps of paper §3.2):
+
+1. **Motion** — every colony sends ants on short stochastic walks from
+   vertices of its current territory.  Step probabilities combine the
+   colony's pheromone on the edge, the edge weight (the "local heuristic":
+   heavy flow edges smell of food), and an exploration bonus on edges the
+   colony has never marked.  Ants remember their path.
+2. **Pheromone update** — each ant deposits on the edges it walked;
+   colonies whose territory improved the global objective reinforce their
+   internal edges backward along remembered paths; all trails then
+   evaporate.
+3. **Centralised action** (the optional third step) — vertex ownership is
+   recomputed from pheromone sums and repaired so every colony keeps at
+   least one vertex; the resulting partition is scored and tracked.
+
+Ants from different colonies may stand on the same vertex — connectivity
+of parts is not forced, exactly as the paper stresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.timer import Deadline
+from repro.graph.graph import Graph
+from repro.antcolony.pheromone import PheromoneField
+from repro.partition.objectives import Objective, get_objective
+from repro.partition.partition import Partition
+
+__all__ = ["AntColonyPartitioner", "ant_colony_search"]
+
+
+def _ownership_to_partition(
+    graph: Graph,
+    ownership: np.ndarray,
+    k: int,
+    fallback: np.ndarray,
+) -> Partition:
+    """Turn a (possibly degenerate) ownership vector into a valid partition.
+
+    Unowned vertices (-1) take their ``fallback`` assignment; colonies that
+    lost every vertex reclaim their strongest fallback vertex so the
+    partition keeps exactly ``k`` parts.
+    """
+    assignment = ownership.copy()
+    missing = assignment < 0
+    assignment[missing] = fallback[missing]
+    counts = np.bincount(assignment, minlength=k)
+    for colony in np.flatnonzero(counts == 0):
+        # Reclaim one vertex from the largest part (its fallback territory).
+        donor = int(np.argmax(np.bincount(assignment, minlength=k)))
+        members = np.flatnonzero(assignment == donor)
+        assignment[members[0]] = colony
+        counts = np.bincount(assignment, minlength=k)
+    return Partition(graph, assignment)
+
+
+def _daemon_local_search(
+    partition: Partition,
+    obj: Objective,
+    rng: np.random.Generator,
+    max_moves: int = 200,
+) -> None:
+    """The optional centralised step of §3.2: greedy descent on boundary
+    vertices ("centralized actions which cannot be performed by single
+    ants" — realised, as is standard in ACS variants, as daemon local
+    search on the colony-assembled solution)."""
+    from repro.partition.moves import boundary_vertices
+
+    moves = 0
+    candidates = boundary_vertices(partition)
+    rng.shuffle(candidates)
+    for v in candidates:
+        if moves >= max_moves:
+            break
+        v = int(v)
+        source = partition.part_of(v)
+        if partition.size[source] <= 1:
+            continue
+        w_parts = partition.neighbor_part_weights(v)
+        w_parts[source] = 0.0
+        targets = np.flatnonzero(w_parts > 0.0)
+        if targets.size == 0:
+            continue
+        deltas = np.array(
+            [obj.delta_move(partition, v, int(t)) for t in targets]
+        )
+        j = int(np.argmin(deltas))
+        if deltas[j] < -1e-12:
+            partition.move(v, int(targets[j]), allow_empty_source=False)
+            moves += 1
+
+
+def ant_colony_search(
+    graph: Graph,
+    k: int,
+    objective: Objective | str = "mcut",
+    num_ants: int = 8,
+    walk_length: int = 8,
+    evaporation: float = 0.05,
+    deposit: float = 1.0,
+    reinforcement: float = 4.0,
+    exploration_bonus: float = 0.5,
+    pheromone_power: float = 1.0,
+    heuristic_power: float = 1.0,
+    iterations: int = 200,
+    daemon_moves: int = 200,
+    time_budget: float | None = None,
+    seed: SeedLike = None,
+    initial_partition: Partition | None = None,
+    on_improvement: Callable[[float, Partition], None] | None = None,
+) -> tuple[Partition, float]:
+    """Run the competing-colonies search; return ``(best, best_energy)``.
+
+    Parameters
+    ----------
+    graph, k, objective:
+        Problem definition; lower objective is better.
+    num_ants:
+        Ants dispatched per colony per iteration.
+    walk_length:
+        Steps per ant walk.
+    evaporation, deposit, reinforcement:
+        Trail decay rate, per-step deposit, and the bonus laid on a
+        colony's internal edges when the global partition improves.
+    exploration_bonus:
+        Added attractiveness of edges the colony has never marked (the
+        paper's "local heuristic forces ants to explore edges which have
+        no pheromone").
+    pheromone_power, heuristic_power:
+        Exponents α, β of the standard ant-system step rule
+        ``p(e) ∝ τ(e)^α · w(e)^β``.
+    iterations, time_budget:
+        Stopping criteria (whichever first).
+    initial_partition:
+        Territory seeding; defaults to percolation (paper §4.4).
+    on_improvement:
+        Callback ``(energy, partition)`` on every new best (Figure 1).
+    """
+    if k < 1 or k > graph.num_vertices:
+        raise ConfigurationError(f"k must be in [1, {graph.num_vertices}]")
+    obj = get_objective(objective)
+    rng = ensure_rng(seed)
+    deadline = Deadline(time_budget)
+
+    if initial_partition is None:
+        from repro.percolation.percolation import PercolationPartitioner
+
+        initial_partition = PercolationPartitioner(k=k).partition(graph, seed=rng)
+    if initial_partition.num_parts != k:
+        raise ConfigurationError(
+            f"initial partition has {initial_partition.num_parts} parts, "
+            f"expected {k}"
+        )
+    fallback = initial_partition.assignment.copy()
+
+    field = PheromoneField(graph, k, initial=0.0)
+    # Seed trails: each colony marks the edges internal to its start part.
+    eu, ev = field.edge_u, field.edge_v
+    for colony in range(k):
+        internal = (fallback[eu] == colony) & (fallback[ev] == colony)
+        field.values[colony, internal] = deposit
+
+    best = initial_partition.copy()
+    best_energy = obj.value(best)
+    current_assignment = fallback.copy()
+    w_edges = graph.weights  # per-arc weights (CSR order)
+
+    for _ in range(iterations):
+        if deadline.expired():
+            break
+        # --- Step 1: motion ----------------------------------------------
+        paths: list[tuple[int, list[int]]] = []  # (colony, edge ids)
+        for colony in range(k):
+            territory = np.flatnonzero(current_assignment == colony)
+            if territory.size == 0:
+                territory = np.array([int(rng.integers(graph.num_vertices))])
+            starts = territory[rng.integers(territory.size, size=num_ants)]
+            for s in starts:
+                v = int(s)
+                walked: list[int] = []
+                for _step in range(walk_length):
+                    lo, hi = graph.indptr[v], graph.indptr[v + 1]
+                    if hi == lo:
+                        break
+                    edge_ids = field.arc_edge[lo:hi]
+                    tau = field.values[colony, edge_ids]
+                    heur = w_edges[lo:hi]
+                    attract = (
+                        np.power(tau + 1e-12, pheromone_power)
+                        * np.power(heur + 1e-12, heuristic_power)
+                    )
+                    attract = attract + exploration_bonus * (tau <= 0.0)
+                    total = float(attract.sum())
+                    if total <= 0.0:
+                        break
+                    choice = int(rng.choice(hi - lo, p=attract / total))
+                    walked.append(int(edge_ids[choice]))
+                    v = int(graph.indices[lo + choice])
+                paths.append((colony, walked))
+        # --- Step 2: pheromone update --------------------------------------
+        for colony, walked in paths:
+            if walked:
+                field.deposit(colony, np.asarray(walked, dtype=np.int64), deposit)
+        # --- Step 3: centralised ownership + daemon action + scoring ------
+        ownership = field.vertex_ownership()
+        partition = _ownership_to_partition(graph, ownership, k, fallback)
+        if daemon_moves > 0:
+            _daemon_local_search(partition, obj, rng, max_moves=daemon_moves)
+        energy = obj.value(partition)
+        if energy < best_energy - 1e-12:
+            best = partition.copy()
+            best_energy = energy
+            if on_improvement is not None:
+                on_improvement(best_energy, best)
+            # Backward update: reinforce internal edges of the improved
+            # partition (food found — strengthen the trail home).
+            a = partition.assignment
+            for colony in range(k):
+                internal = np.flatnonzero(
+                    (a[eu] == colony) & (a[ev] == colony)
+                )
+                if internal.size:
+                    field.deposit(colony, internal, reinforcement)
+        current_assignment = partition.assignment.copy()
+        field.evaporate(evaporation)
+    return best, best_energy
+
+
+@dataclass
+class AntColonyPartitioner:
+    """Table 1's "Ant colony" row — thin wrapper over
+    :func:`ant_colony_search` with the paper's four tuning parameters
+    (ants per colony, walk length, evaporation, deposit) exposed first.
+    """
+
+    k: int
+    objective: str = "mcut"
+    num_ants: int = 8
+    walk_length: int = 8
+    evaporation: float = 0.05
+    deposit: float = 1.0
+    reinforcement: float = 4.0
+    exploration_bonus: float = 0.5
+    pheromone_power: float = 1.0
+    heuristic_power: float = 1.0
+    daemon_moves: int = 200
+    iterations: int = 200
+    time_budget: float | None = None
+
+    name = "ant-colony"
+
+    def partition(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> Partition:
+        """Percolation init + competing-colonies search."""
+        best, _ = ant_colony_search(
+            graph,
+            self.k,
+            objective=self.objective,
+            num_ants=self.num_ants,
+            walk_length=self.walk_length,
+            evaporation=self.evaporation,
+            deposit=self.deposit,
+            reinforcement=self.reinforcement,
+            exploration_bonus=self.exploration_bonus,
+            pheromone_power=self.pheromone_power,
+            heuristic_power=self.heuristic_power,
+            daemon_moves=self.daemon_moves,
+            iterations=self.iterations,
+            time_budget=self.time_budget,
+            seed=seed,
+            on_improvement=on_improvement,
+        )
+        return best

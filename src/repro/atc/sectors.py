@@ -1,0 +1,98 @@
+"""Sector and sector-network models.
+
+An air traffic *sector* is the elementary volume one controller team
+supervises; the FABOP graph has one vertex per sector and one edge per
+sector pair exchanging aircraft flows (paper §5).  :class:`SectorNetwork`
+bundles the flow graph with per-sector metadata (country, position,
+traffic intensity) so the application layer can report results in domain
+terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+
+__all__ = ["Sector", "SectorNetwork"]
+
+
+@dataclass(frozen=True)
+class Sector:
+    """One air traffic sector.
+
+    Attributes
+    ----------
+    sector_id:
+        Vertex id in the flow graph.
+    country:
+        ISO-like country code the sector belongs to.
+    x, y:
+        Planar layout coordinates (abstract map units).
+    traffic:
+        Daily traffic intensity handled by the sector (movement count).
+    """
+
+    sector_id: int
+    country: str
+    x: float
+    y: float
+    traffic: float
+
+
+@dataclass
+class SectorNetwork:
+    """A sector flow graph plus its metadata.
+
+    Attributes
+    ----------
+    graph:
+        The weighted flow graph (vertices = sectors, weights = flows).
+    sectors:
+        One :class:`Sector` per vertex, aligned by id.
+    """
+
+    graph: Graph
+    sectors: list[Sector] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.sectors) != self.graph.num_vertices:
+            raise ConfigurationError(
+                f"{len(self.sectors)} sectors for a graph with "
+                f"{self.graph.num_vertices} vertices"
+            )
+        ids = [s.sector_id for s in self.sectors]
+        if ids != list(range(len(ids))):
+            raise ConfigurationError("sector ids must be 0..n-1 in order")
+
+    @property
+    def num_sectors(self) -> int:
+        """Number of sectors."""
+        return self.graph.num_vertices
+
+    @property
+    def countries(self) -> list[str]:
+        """Sorted list of distinct country codes."""
+        return sorted({s.country for s in self.sectors})
+
+    def country_of(self, sector_id: int) -> str:
+        """Country code of a sector."""
+        return self.sectors[sector_id].country
+
+    def country_assignment(self) -> np.ndarray:
+        """``(n,)`` integer country labels (indexing :attr:`countries`)."""
+        index = {c: i for i, c in enumerate(self.countries)}
+        return np.asarray(
+            [index[s.country] for s in self.sectors], dtype=np.int64
+        )
+
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` sector layout coordinates."""
+        return np.asarray([[s.x, s.y] for s in self.sectors])
+
+    def total_flow(self) -> float:
+        """Total flow over all sector pairs (each edge counted once)."""
+        return self.graph.total_edge_weight

@@ -1,0 +1,96 @@
+"""Synthetic traffic generation.
+
+Flows between sectors follow a *gravity model* — the standard synthetic
+stand-in for origin–destination traffic: the flow between adjacent sectors
+is proportional to the product of their traffic intensities divided by a
+power of their distance, with an intra-country multiplier reflecting that
+European route networks are historically national (the paper's motivation:
+current blocks "almost never cross countries border").
+
+Traffic intensities are heavy-tailed (lognormal) with designated *hub*
+sectors (capital-area TMAs) boosted by an order of magnitude, reproducing
+the skew of real sector loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+
+__all__ = ["traffic_intensities", "gravity_flows"]
+
+
+def traffic_intensities(
+    n: int,
+    hubs: np.ndarray | None = None,
+    hub_boost: float = 8.0,
+    sigma: float = 0.6,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Lognormal per-sector traffic with boosted hubs.
+
+    Parameters
+    ----------
+    n:
+        Number of sectors.
+    hubs:
+        Indices of hub sectors (optional).
+    hub_boost:
+        Multiplier applied to hub intensities.
+    sigma:
+        Lognormal shape (0.6 gives a realistic ~3x inter-quartile skew).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    rng = ensure_rng(seed)
+    traffic = rng.lognormal(mean=0.0, sigma=sigma, size=n)
+    if hubs is not None and len(hubs) > 0:
+        traffic[np.asarray(hubs, dtype=np.int64)] *= hub_boost
+    return traffic
+
+
+def gravity_flows(
+    edges_u: np.ndarray,
+    edges_v: np.ndarray,
+    positions: np.ndarray,
+    traffic: np.ndarray,
+    country: np.ndarray,
+    intra_country_multiplier: float = 2.5,
+    distance_power: float = 1.0,
+    noise_sigma: float = 0.25,
+    min_flow: float = 1.0,
+    total_flow: float | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Gravity-model flow for each candidate edge.
+
+    ``flow(u, v) ∝ traffic_u * traffic_v / dist(u, v)^p``, multiplied by
+    ``intra_country_multiplier`` when both sectors share a country, with
+    multiplicative lognormal noise.  Flows are rounded to integers >=
+    ``min_flow``; if ``total_flow`` is given, flows are rescaled first so
+    their sum approximates it (the paper-scale instance targets a total
+    in the hundreds of thousands so Table 1's "divided by 1000" numbers
+    have the right magnitude).
+    """
+    u = np.asarray(edges_u, dtype=np.int64)
+    v = np.asarray(edges_v, dtype=np.int64)
+    if u.shape != v.shape:
+        raise ConfigurationError("edge endpoint arrays must align")
+    rng = ensure_rng(seed)
+    pos = np.asarray(positions, dtype=np.float64)
+    tr = np.asarray(traffic, dtype=np.float64)
+    ctry = np.asarray(country)
+    diff = pos[u] - pos[v]
+    dist = np.sqrt((diff * diff).sum(axis=1))
+    dist = np.maximum(dist, 1e-6)
+    flow = tr[u] * tr[v] / dist**distance_power
+    flow *= np.where(ctry[u] == ctry[v], intra_country_multiplier, 1.0)
+    if noise_sigma > 0:
+        flow *= rng.lognormal(mean=0.0, sigma=noise_sigma, size=flow.shape[0])
+    if total_flow is not None:
+        current = float(flow.sum())
+        if current > 0:
+            flow *= total_flow / current
+    return np.maximum(np.round(flow), min_flow)

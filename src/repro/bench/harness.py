@@ -1,0 +1,91 @@
+"""Suite runner and table formatting for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.timer import Timer
+from repro.graph.graph import Graph
+from repro.partition.metrics import evaluate_partition
+
+__all__ = ["MethodResult", "run_method", "run_suite", "format_table"]
+
+
+@dataclass
+class MethodResult:
+    """One Table-1 row: a method's Cut/Ncut/Mcut on a graph.
+
+    ``cut`` follows the paper's convention (cross edges counted twice);
+    Table 1 prints it divided by 1000.
+    """
+
+    label: str
+    cut: float
+    ncut: float
+    mcut: float
+    num_parts: int
+    seconds: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON dumps."""
+        return {
+            "label": self.label,
+            "cut": self.cut,
+            "ncut": self.ncut,
+            "mcut": self.mcut,
+            "num_parts": self.num_parts,
+            "seconds": self.seconds,
+        }
+
+
+def run_method(label: str, partitioner, graph: Graph, seed: SeedLike = None) -> MethodResult:
+    """Run one partitioner and score it on all three criteria."""
+    with Timer() as timer:
+        partition = partitioner.partition(graph, seed=seed)
+    report = evaluate_partition(partition)
+    return MethodResult(
+        label=label,
+        cut=report.cut,
+        ncut=report.ncut,
+        mcut=report.mcut,
+        num_parts=report.num_parts,
+        seconds=timer.elapsed,
+    )
+
+
+def run_suite(
+    methods: list[tuple[str, object]],
+    graph: Graph,
+    seed: SeedLike = None,
+    verbose: bool = False,
+) -> list[MethodResult]:
+    """Run every (label, partitioner) pair; one spawned seed per method."""
+    rng = ensure_rng(seed)
+    results = []
+    for label, partitioner in methods:
+        result = run_method(label, partitioner, graph, seed=rng.spawn(1)[0])
+        if verbose:
+            print(
+                f"  {label:<28} Cut/1000={result.cut / 1000.0:>9.1f} "
+                f"Ncut={result.ncut:>7.2f} Mcut={result.mcut:>9.2f} "
+                f"[{result.seconds:.1f}s]"
+            )
+        results.append(result)
+    return results
+
+
+def format_table(results: list[MethodResult], title: str = "") -> str:
+    """Render results in the paper's Table-1 layout (Cut divided by 1000)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'Method':<28} {'Cut':>8} {'Ncut':>8} {'Mcut':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in results:
+        lines.append(
+            f"{r.label:<28} {r.cut / 1000.0:>8.1f} {r.ncut:>8.2f} "
+            f"{r.mcut:>10.2f}"
+        )
+    return "\n".join(lines)

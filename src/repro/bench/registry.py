@@ -1,0 +1,124 @@
+"""Method registry: canonical names → partitioner factories.
+
+Every partitioner in the library exposes ``partition(graph, seed=None) ->
+Partition``; the registry lets the harness, the FABOP API and the examples
+instantiate them uniformly.  :func:`table1_methods` returns the exact
+method matrix of the paper's Table 1 (17 rows).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["METHOD_FACTORIES", "make_partitioner", "table1_methods"]
+
+
+def _linear(k: int, **opts: Any):
+    from repro.spectral.partitioner import LinearPartitioner
+
+    return LinearPartitioner(k=k, **opts)
+
+
+def _spectral(k: int, **opts: Any):
+    from repro.spectral.partitioner import SpectralPartitioner
+
+    return SpectralPartitioner(k=k, **opts)
+
+
+def _multilevel(k: int, **opts: Any):
+    from repro.multilevel.partitioner import MultilevelPartitioner
+
+    return MultilevelPartitioner(k=k, **opts)
+
+
+def _percolation(k: int, **opts: Any):
+    from repro.percolation.percolation import PercolationPartitioner
+
+    return PercolationPartitioner(k=k, **opts)
+
+
+def _annealing(k: int, **opts: Any):
+    from repro.annealing.sa import SimulatedAnnealingPartitioner
+
+    return SimulatedAnnealingPartitioner(k=k, **opts)
+
+
+def _antcolony(k: int, **opts: Any):
+    from repro.antcolony.colony import AntColonyPartitioner
+
+    return AntColonyPartitioner(k=k, **opts)
+
+
+def _fusionfission(k: int, **opts: Any):
+    from repro.fusionfission.partitioner import FusionFissionPartitioner
+
+    return FusionFissionPartitioner(k=k, **opts)
+
+
+METHOD_FACTORIES: dict[str, Callable[..., Any]] = {
+    "linear": _linear,
+    "spectral": _spectral,
+    "multilevel": _multilevel,
+    "percolation": _percolation,
+    "simulated-annealing": _annealing,
+    "ant-colony": _antcolony,
+    "fusion-fission": _fusionfission,
+}
+
+
+def make_partitioner(method: str, k: int, **options: Any):
+    """Instantiate a partitioner by registry name."""
+    key = method.lower()
+    if key not in METHOD_FACTORIES:
+        raise ConfigurationError(
+            f"unknown method {method!r}; choose from {sorted(METHOD_FACTORIES)}"
+        )
+    return METHOD_FACTORIES[key](k, **options)
+
+
+def table1_methods(
+    k: int = 32,
+    metaheuristic_budget: float | None = None,
+) -> list[tuple[str, Any]]:
+    """The 17 (label, partitioner) rows of the paper's Table 1.
+
+    Parameters
+    ----------
+    k:
+        Part count (paper: 32).
+    metaheuristic_budget:
+        Optional per-run wall-clock budget (seconds) for SA, ant colony
+        and fusion–fission; ``None`` uses their step-count defaults.
+    """
+    rows: list[tuple[str, Any]] = [
+        ("Linear (Bi)", _linear(k)),
+        ("Linear (Bi, KL)", _linear(k, refine=True)),
+        ("Linear (Oct, KL)", _linear(k, refine=True, arity=8)),
+        ("Spectral (Lanc, Bi)", _spectral(k, solver="lanczos", arity=2)),
+        ("Spectral (Lanc, Bi, KL)", _spectral(k, solver="lanczos", arity=2, refine=True)),
+        ("Spectral (Lanc, Oct)", _spectral(k, solver="lanczos", arity=8)),
+        ("Spectral (Lanc, Oct, KL)", _spectral(k, solver="lanczos", arity=8, refine=True)),
+        ("Spectral (RQI, Bi)", _spectral(k, solver="rqi", arity=2)),
+        ("Spectral (RQI, Bi, KL)", _spectral(k, solver="rqi", arity=2, refine=True)),
+        ("Spectral (RQI, Oct)", _spectral(k, solver="rqi", arity=8)),
+        ("Spectral (RQI, Oct, KL)", _spectral(k, solver="rqi", arity=8, refine=True)),
+        ("Multilevel (Bi)", _multilevel(k, arity=2)),
+        ("Multilevel (Oct)", _multilevel(k, arity=8)),
+        ("Percolation", _percolation(k)),
+        ("Simulated annealing", _annealing(k, time_budget=metaheuristic_budget)),
+        # When a wall-clock budget is given it is authoritative: lift the
+        # step/iteration caps so every metaheuristic uses its whole budget.
+        ("Ant colony", _antcolony(
+            k,
+            time_budget=metaheuristic_budget,
+            iterations=10**9 if metaheuristic_budget else 200,
+        )),
+        ("Fusion Fission", _fusionfission(
+            k,
+            time_budget=metaheuristic_budget,
+            max_steps=10**9 if metaheuristic_budget else 4000,
+        )),
+    ]
+    return rows

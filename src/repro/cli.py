@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Four subcommands, mirroring how Chaco/Metis are driven from the shell::
+
+    python -m repro partition INPUT -k 32 --method fusion-fission -o parts.txt
+    python -m repro evaluate INPUT parts.txt
+    python -m repro generate atc -o core_area.graph
+    python -m repro convert INPUT OUTPUT
+
+* ``partition`` reads a graph (METIS ``.graph``, edge-list ``.txt``/
+  ``.edges`` or ``.json``), partitions it with any registered method and
+  writes one part id per line (Metis' output convention).
+* ``evaluate`` scores an existing assignment file on all three paper
+  criteria plus balance/connectivity diagnostics.
+* ``generate`` writes a synthetic instance (``atc``, ``grid``, ``caveman``,
+  ``geometric``) in METIS format.
+* ``convert`` transcodes between the supported graph formats by extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.registry import METHOD_FACTORIES, make_partitioner
+from repro.common.exceptions import ReproError
+from repro.graph import (
+    Graph,
+    grid_graph,
+    random_geometric_graph,
+    read_edgelist,
+    read_json,
+    read_metis,
+    weighted_caveman_graph,
+    write_edgelist,
+    write_json,
+    write_metis,
+)
+from repro.partition import Partition, evaluate_partition
+
+__all__ = ["main", "read_graph_auto", "write_graph_auto"]
+
+
+def read_graph_auto(path: str | Path) -> Graph:
+    """Read a graph, dispatching on file extension.
+
+    ``.graph``/``.metis`` → METIS, ``.json`` → JSON, anything else →
+    edge list.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".graph", ".metis"):
+        return read_metis(path)
+    if suffix == ".json":
+        return read_json(path)
+    return read_edgelist(path)
+
+
+def write_graph_auto(graph: Graph, path: str | Path) -> None:
+    """Write a graph, dispatching on file extension (see
+    :func:`read_graph_auto`)."""
+    suffix = Path(path).suffix.lower()
+    if suffix in (".graph", ".metis"):
+        write_metis(graph, path)
+    elif suffix == ".json":
+        write_json(graph, path)
+    else:
+        write_edgelist(graph, path)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = read_graph_auto(args.input)
+    options: dict = {}
+    if args.budget is not None:
+        options["time_budget"] = args.budget
+        if args.method == "fusion-fission":
+            options["max_steps"] = 10**9
+        elif args.method == "ant-colony":
+            options["iterations"] = 10**9
+    if args.objective and args.method in (
+        "fusion-fission", "simulated-annealing", "ant-colony"
+    ):
+        options["objective"] = args.objective
+    partitioner = make_partitioner(args.method, args.k, **options)
+    partition = partitioner.partition(graph, seed=args.seed)
+    lines = "\n".join(str(int(p)) for p in partition.assignment)
+    if args.output:
+        Path(args.output).write_text(lines + "\n")
+    else:
+        print(lines)
+    report = evaluate_partition(partition)
+    print(
+        f"# k={report.num_parts} cut={report.cut:g} ncut={report.ncut:.4f} "
+        f"mcut={report.mcut:.4f} imbalance={report.imbalance:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = read_graph_auto(args.input)
+    assignment = np.asarray(
+        [int(line) for line in Path(args.assignment).read_text().split()],
+        dtype=np.int64,
+    )
+    partition = Partition(graph, assignment)
+    report = evaluate_partition(partition)
+    payload = report.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            if key == "part_sizes":
+                value = ",".join(str(v) for v in value)
+            print(f"{key:>24}: {value}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "atc":
+        from repro.atc.europe import core_area_graph
+
+        graph = core_area_graph(seed=args.seed)
+    elif args.family == "grid":
+        graph = grid_graph(args.rows, args.cols)
+    elif args.family == "caveman":
+        graph = weighted_caveman_graph(args.caves, args.cave_size)
+    elif args.family == "geometric":
+        graph, _ = random_geometric_graph(args.n, args.radius, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown family {args.family}")
+    write_graph_auto(graph, args.output)
+    print(
+        f"wrote {args.family}: n={graph.num_vertices} m={graph.num_edges} "
+        f"-> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    graph = read_graph_auto(args.input)
+    write_graph_auto(graph, args.output)
+    print(
+        f"converted {args.input} -> {args.output} "
+        f"(n={graph.num_vertices}, m={graph.num_edges})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph partitioning toolkit (fusion-fission reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph file")
+    p.add_argument("input")
+    p.add_argument("-k", type=int, required=True, help="number of parts")
+    p.add_argument(
+        "--method",
+        default="fusion-fission",
+        choices=sorted(METHOD_FACTORIES),
+    )
+    p.add_argument("--objective", default="mcut",
+                   choices=["cut", "ncut", "mcut"],
+                   help="criterion for the metaheuristics")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock seconds for metaheuristics")
+    p.add_argument("-o", "--output", default=None,
+                   help="assignment file (stdout if omitted)")
+    p.set_defaults(func=_cmd_partition)
+
+    e = sub.add_parser("evaluate", help="score an assignment file")
+    e.add_argument("input")
+    e.add_argument("assignment")
+    e.add_argument("--json", action="store_true")
+    e.set_defaults(func=_cmd_evaluate)
+
+    g = sub.add_parser("generate", help="write a synthetic instance")
+    g.add_argument("family", choices=["atc", "grid", "caveman", "geometric"])
+    g.add_argument("-o", "--output", required=True)
+    g.add_argument("--seed", type=int, default=2006)
+    g.add_argument("--rows", type=int, default=32)
+    g.add_argument("--cols", type=int, default=32)
+    g.add_argument("--caves", type=int, default=8)
+    g.add_argument("--cave-size", type=int, default=8)
+    g.add_argument("--n", type=int, default=500)
+    g.add_argument("--radius", type=float, default=0.08)
+    g.set_defaults(func=_cmd_generate)
+
+    c = sub.add_parser("convert", help="transcode graph formats")
+    c.add_argument("input")
+    c.add_argument("output")
+    c.set_defaults(func=_cmd_convert)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Shared utilities: RNG plumbing, timing, exceptions, validation helpers.
+
+Every stochastic entry point in :mod:`repro` accepts a ``seed`` (or an
+already-constructed :class:`numpy.random.Generator`) and routes it through
+:func:`repro.common.rng.ensure_rng`, so any experiment in the repository is
+reproducible from a single integer.
+"""
+
+from repro.common.exceptions import (
+    GraphError,
+    PartitionError,
+    ConvergenceError,
+    ConfigurationError,
+)
+from repro.common.rng import ensure_rng, spawn_rngs
+from repro.common.timer import Timer, Deadline
+
+__all__ = [
+    "GraphError",
+    "PartitionError",
+    "ConvergenceError",
+    "ConfigurationError",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "Deadline",
+]

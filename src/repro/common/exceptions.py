@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad CSR arrays, negative weights,
+    inconsistent symmetric structure, out-of-range vertex ids)."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partition states or operations (empty parts where
+    forbidden, assignment arrays of the wrong length, moves of nonexistent
+    vertices)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative numerical routine (Lanczos, RQI) fails to
+    reach the requested tolerance within its iteration budget."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied algorithm parameters are inconsistent
+    (e.g. ``tmin >= tmax``, ``k < 1``, probabilities outside [0, 1])."""

@@ -1,0 +1,52 @@
+"""Fusion–fission: the paper's new metaheuristic (§4).
+
+The analogy: vertex = *nucleon*, part = *atom*, partition = *molecule*.
+The search repeatedly selects an atom and either **fuses** it with a
+neighbouring atom or **fissions** it in two (via percolation), optionally
+ejecting nucleons that are re-absorbed by connected atoms — so, unlike
+every fixed-k method, *the number of parts changes over time* and the
+search explores partitions around the target k.
+
+Components:
+
+* :mod:`repro.fusionfission.energy` — the binding-energy scaling function
+  that makes energies comparable across different part counts,
+* :mod:`repro.fusionfission.laws` — the learned nucleon-ejection laws
+  (two per atom size, reinforced when they lower the energy),
+* :mod:`repro.fusionfission.temperature` — the ``decrease(t)`` schedule,
+  ``α(t)`` and the ``choice(x)`` fission/fusion rule of §4.3,
+* :mod:`repro.fusionfission.operators` — fusion, fission, nucleon fusion
+  (``nfusion``) and nucleon-triggered fission (``nfission``),
+* :mod:`repro.fusionfission.core` — Algorithm 1 (main loop with
+  restart-from-best) and Algorithm 2 (initialisation from singleton
+  atoms),
+* :mod:`repro.fusionfission.partitioner` — the public
+  :class:`FusionFissionPartitioner`.
+"""
+
+from repro.fusionfission.energy import BindingEnergyScale, ScaledEnergy
+from repro.fusionfission.laws import LawTable
+from repro.fusionfission.temperature import TemperatureSchedule, choice_probability
+from repro.fusionfission.operators import (
+    fusion_step,
+    fission_step,
+    nucleon_fusion,
+    nucleon_fission,
+)
+from repro.fusionfission.core import fusion_fission_search, initialize_molecule
+from repro.fusionfission.partitioner import FusionFissionPartitioner
+
+__all__ = [
+    "BindingEnergyScale",
+    "ScaledEnergy",
+    "LawTable",
+    "TemperatureSchedule",
+    "choice_probability",
+    "fusion_step",
+    "fission_step",
+    "nucleon_fusion",
+    "nucleon_fission",
+    "fusion_fission_search",
+    "initialize_molecule",
+    "FusionFissionPartitioner",
+]

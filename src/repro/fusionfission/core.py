@@ -1,0 +1,323 @@
+"""Algorithm 1 (main loop) and Algorithm 2 (initialisation) of the paper.
+
+The main loop, step by step (paper §4.2):
+
+1. ``choose_atom`` — pick a uniformly random atom of the current molecule;
+2. ``random(atom, cpart)`` — fission with probability ``choice(x)``
+   (§4.3), fusion otherwise;
+3. apply the operator; route every ejected nucleon through ``nfusion``
+   (always, after fusion) or through ``nfission``/``nfusion`` depending on
+   ``high_energy(n, t)`` (after fission);
+4. update the law used (reinforce if the new molecule has lower energy);
+5. ``decrease(t)``; if the temperature is *too low*, restart from the best
+   molecule at full temperature, otherwise continue from the new molecule
+   **even if its energy is higher** — that, plus the changing part count,
+   is what lets fusion–fission escape the local minima fixed-k methods
+   stall in.
+
+The initialisation (Algorithm 2) is "a simplification of the core
+algorithm": it starts from the molecule where *every nucleon is its own
+atom* ("the number of partitions and the number of vertices are the same —
+the energy of such a graph is maximal"), removes temperature and
+nucleon-induced fission, and drives the atom count down to the target with
+law-guided fusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.timer import Deadline
+from repro.fusionfission.energy import ScaledEnergy
+from repro.fusionfission.laws import FISSION, FUSION, LawTable
+from repro.fusionfission.operators import (
+    fission_step,
+    fusion_step,
+    nucleon_fission,
+    nucleon_fusion,
+)
+from repro.fusionfission.temperature import TemperatureSchedule
+from repro.graph.graph import Graph
+from repro.partition.partition import Partition
+
+__all__ = ["FusionFissionResult", "initialize_molecule", "fusion_fission_search"]
+
+
+@dataclass
+class FusionFissionResult:
+    """Outcome of a fusion–fission run.
+
+    Attributes
+    ----------
+    best:
+        Lowest *scaled-energy* molecule seen (its part count may differ
+        from the target — the paper reports useful results from 27 to 38
+        parts around a 32 target).
+    best_energy:
+        Scaled energy of ``best``.
+    best_at_target:
+        Best molecule with *exactly* ``k_target`` parts (None if never
+        visited — cannot happen when initialisation reaches the target).
+    best_raw_at_target:
+        Raw objective of ``best_at_target``.
+    best_by_k:
+        ``{k: raw objective}`` of the best molecule seen at each part
+        count — the data behind the paper's 27–38 claim.
+    steps:
+        Main-loop steps executed.
+    restarts:
+        Temperature restarts taken.
+    """
+
+    best: Partition
+    best_energy: float
+    best_at_target: Partition | None
+    best_raw_at_target: float
+    best_by_k: dict[int, float] = field(default_factory=dict)
+    steps: int = 0
+    restarts: int = 0
+
+
+def initialize_molecule(
+    graph: Graph,
+    k_target: int,
+    laws: LawTable,
+    energy: ScaledEnergy,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> Partition:
+    """Algorithm 2: group singleton atoms into a near-k molecule.
+
+    Fusions are guided by the same partner-selection and law machinery as
+    the core loop (with a fixed mid-range temperature and no
+    nucleon-induced fission).  The loop ends when the molecule reaches
+    ``k_target`` atoms.
+    """
+    n = graph.num_vertices
+    if not (1 <= k_target <= n):
+        raise ConfigurationError(f"k_target must be in [1, {n}], got {k_target}")
+    rng = ensure_rng(seed)
+    partition = Partition(graph, np.arange(n, dtype=np.int64))
+    ideal_size = n / k_target
+    if max_steps is None:
+        max_steps = 8 * n
+    previous_energy = energy.value(partition)
+    for _ in range(max_steps):
+        k = partition.num_parts
+        if k <= k_target:
+            break
+        atom = int(rng.integers(k))
+        ejected, law_key = fusion_step(
+            partition,
+            atom,
+            laws,
+            temperature_fraction=0.5,
+            ideal_size=ideal_size,
+            rng=rng,
+        )
+        for nucleon in ejected:
+            nucleon_fusion(partition, int(nucleon))
+        if law_key is not None:
+            new_energy = energy.value(partition)
+            laws.update(*law_key[:3], improved=new_energy < previous_energy)
+            previous_energy = new_energy
+    return partition
+
+
+def fusion_fission_search(
+    graph: Graph,
+    k_target: int,
+    energy: ScaledEnergy,
+    schedule: TemperatureSchedule | None = None,
+    laws: LawTable | None = None,
+    max_steps: int = 5000,
+    time_budget: float | None = None,
+    max_parts_factor: float = 2.0,
+    seed: SeedLike = None,
+    initial: Partition | None = None,
+    on_improvement: Callable[[float, Partition], None] | None = None,
+    atom_selection: str = "uniform",
+) -> FusionFissionResult:
+    """Algorithm 1: the fusion–fission main loop.
+
+    Parameters
+    ----------
+    graph, k_target:
+        Problem definition; the molecule is steered around ``k_target``
+        atoms but may drift (that drift is the method's point).
+    energy:
+        The scaled-energy function (objective + binding curve).
+    schedule:
+        The five-parameter temperature machinery (default:
+        ``TemperatureSchedule()``).
+    laws:
+        Ejection law table, shared with the initialisation so learning
+        persists (default: fresh table).
+    max_steps, time_budget:
+        Stopping criteria — whichever hits first.
+    max_parts_factor:
+        Hard ceiling ``max_parts = factor * k_target`` on the atom count
+        (keeps hot phases from shattering the molecule).
+    initial:
+        Starting molecule; default runs :func:`initialize_molecule`.
+    on_improvement:
+        Callback ``(raw_objective, partition)`` fired when the best
+        molecule *at the target k* improves (Figure-1 sampling).
+
+    Returns
+    -------
+    FusionFissionResult
+    """
+    n = graph.num_vertices
+    if not (2 <= k_target <= n):
+        raise ConfigurationError(f"k_target must be in [2, {n}], got {k_target}")
+    rng = ensure_rng(seed)
+    schedule = schedule or TemperatureSchedule()
+    laws = laws or LawTable(n)
+    max_parts = max(k_target + 1, int(round(max_parts_factor * k_target)))
+    ideal_size = n / k_target
+    deadline = Deadline(time_budget)
+
+    if initial is None:
+        initial = initialize_molecule(
+            graph, k_target, laws, energy, seed=rng
+        )
+    current = initial
+    current_energy = energy.value(current)
+
+    best = current.copy()
+    best_energy = current_energy
+    best_at_target: Partition | None = None
+    best_raw_at_target = float("inf")
+    best_by_k: dict[int, float] = {}
+
+    def record(partition: Partition, scaled: float) -> None:
+        nonlocal best, best_energy, best_at_target, best_raw_at_target
+        k = partition.num_parts
+        raw = energy.raw(partition)
+        if raw < best_by_k.get(k, float("inf")):
+            best_by_k[k] = raw
+        if scaled < best_energy - 1e-12:
+            best = partition.copy()
+            best_energy = scaled
+        if k == k_target and raw < best_raw_at_target - 1e-12:
+            best_at_target = partition.copy()
+            best_raw_at_target = raw
+            if on_improvement is not None:
+                on_improvement(raw, best_at_target)
+
+    record(current, current_energy)
+
+    t = schedule.initial()
+    steps = 0
+    restarts = 0
+    while steps < max_steps and not deadline.expired():
+        steps += 1
+        k = current.num_parts
+        if atom_selection == "energy":
+            # Weight atom choice by its objective term: unstable atoms are
+            # reworked more often (an instance of the customisable choice
+            # machinery the paper's conclusion mentions).
+            terms = energy.objective.part_terms(current)
+            terms = np.where(np.isfinite(terms), terms, terms[np.isfinite(terms)].max(initial=1.0) * 10.0 if np.isfinite(terms).any() else 1.0)
+            total = float(terms.sum())
+            if total > 0:
+                atom = int(rng.choice(k, p=terms / total))
+            else:
+                atom = int(rng.integers(k))
+        else:
+            atom = int(rng.integers(k))
+        atom_size = int(current.size[atom])
+        p_fission = schedule.fission_probability(atom_size, ideal_size, t)
+        t_frac = schedule.normalized(t)
+        if rng.random() < p_fission:
+            ejected, law_key = fission_step(
+                current, atom, laws, max_parts=max_parts, rng=rng
+            )
+            for nucleon in ejected:
+                # high_energy(n, t): a hot nucleon can strike a further
+                # fission; a cold one is simply reabsorbed.
+                if rng.random() < t_frac:
+                    nucleon_fission(current, int(nucleon), max_parts, rng=rng)
+                else:
+                    nucleon_fusion(current, int(nucleon))
+        else:
+            ejected, law_key = fusion_step(
+                current,
+                atom,
+                laws,
+                temperature_fraction=t_frac,
+                ideal_size=ideal_size,
+                rng=rng,
+            )
+            for nucleon in ejected:
+                nucleon_fusion(current, int(nucleon))
+
+        new_energy = energy.value(current)
+        if law_key is not None:
+            laws.update(*law_key, improved=new_energy < current_energy)
+        current_energy = new_energy
+        record(current, current_energy)
+
+        t = schedule.decrease(t)
+        if schedule.too_low(t):
+            # Restart from the best molecule at full temperature.
+            current = best.copy()
+            current_energy = best_energy
+            t = schedule.initial()
+            restarts += 1
+
+    if best_at_target is None:
+        # The search never visited the exact target k (possible only with
+        # a custom `initial`); coerce the best molecule to k_target by
+        # greedy merges/percolation splits.
+        best_at_target = _coerce_to_k(best.copy(), k_target, rng)
+        best_raw_at_target = energy.raw(best_at_target)
+    return FusionFissionResult(
+        best=best,
+        best_energy=best_energy,
+        best_at_target=best_at_target,
+        best_raw_at_target=best_raw_at_target,
+        best_by_k=best_by_k,
+        steps=steps,
+        restarts=restarts,
+    )
+
+
+def _coerce_to_k(partition: Partition, k_target: int, rng) -> Partition:
+    """Force ``partition`` to exactly ``k_target`` parts.
+
+    Merges the most-connected pair while too many parts; percolation-splits
+    the largest part while too few.
+    """
+    from repro.percolation.percolation import percolation_bisect
+
+    while partition.num_parts > k_target:
+        # Merge the pair with the strongest connection among pairs touching
+        # the smallest atom (cheap heuristic, preserves quality).
+        small = int(np.argmin(partition.size))
+        weights = np.zeros(partition.num_parts)
+        g = partition.graph
+        a = partition.assignment
+        for v in partition.members(small):
+            nbrs, wts = g.neighbors(int(v))
+            np.add.at(weights, a[nbrs], wts)
+        weights[small] = -1.0
+        partner = int(np.argmax(weights))
+        if weights[partner] <= 0.0:
+            others = [p for p in range(partition.num_parts) if p != small]
+            partner = int(rng.choice(others))
+        partition.merge_parts(small, partner)
+    while partition.num_parts < k_target:
+        big = int(np.argmax(partition.size))
+        members = partition.members(big)
+        if members.shape[0] < 2:
+            break
+        _, side_b = percolation_bisect(partition.graph, members, seed=rng)
+        partition.split_part(big, side_b)
+    return partition

@@ -1,0 +1,126 @@
+"""Learned nucleon-ejection laws (paper §4.1).
+
+"In nature, fusion and fission obey to laws.  Some fissions … leave
+nucleons alone … fusion of two atoms can make a new atom and eject one or
+more nucleons.  The algorithm includes these laws, but with a memory which
+updates laws (if the law gives a better solution, the process is enforced,
+else it is weakened)."
+
+Concretely: there are two laws per atom size ("the number of laws is twice
+the number of vertices — one for fusion plus one for fission"), and each
+law is a categorical distribution over how many nucleons to eject — "four
+probabilities (less if the sum of nucleons is lower): the first one is the
+probability to eject no nucleon, the second to eject one nucleon and so
+on", summing to one.  After an operation whose outcome lowered the energy,
+the chosen probability gains ``rate`` and the others each lose a third of
+it; a worsening outcome applies the inverse.  Probabilities stay strictly
+inside (0, 1) and renormalise exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+
+__all__ = ["LawTable", "FUSION", "FISSION"]
+
+FUSION = 0
+FISSION = 1
+_MAX_EJECT = 3  # "four probabilities": eject 0, 1, 2 or 3 nucleons
+_EPS = 1e-3     # probabilities stay in [_EPS, 1 - _EPS]
+
+
+class LawTable:
+    """Ejection-probability laws for every atom size.
+
+    Parameters
+    ----------
+    num_vertices:
+        The largest possible atom size; the table holds
+        ``2 * num_vertices`` laws, as the paper specifies.
+    learning_rate:
+        The "input value" added to a reinforced probability.
+
+    Notes
+    -----
+    Laws are stored as two ``(num_vertices + 1, 4)`` arrays (row = atom
+    size, fusion and fission separately), initialised uniform over the
+    ejection counts *feasible* at that size: an atom of ``s`` nucleons can
+    eject at most ``s - 1`` (fission additionally needs 2 survivors, which
+    the operators enforce; the table only encodes the size cap).
+    """
+
+    def __init__(self, num_vertices: int, learning_rate: float = 0.05) -> None:
+        if num_vertices < 1:
+            raise ConfigurationError("num_vertices must be >= 1")
+        if not (0.0 < learning_rate < 1.0):
+            raise ConfigurationError(
+                f"learning_rate must be in (0, 1), got {learning_rate}"
+            )
+        self.num_vertices = num_vertices
+        self.learning_rate = learning_rate
+        shape = (2, num_vertices + 1, _MAX_EJECT + 1)
+        self.probabilities = np.zeros(shape)
+        for size in range(num_vertices + 1):
+            feasible = min(size - 1, _MAX_EJECT) if size >= 1 else 0
+            feasible = max(feasible, 0)
+            self.probabilities[:, size, : feasible + 1] = 1.0 / (feasible + 1)
+
+    def _check(self, kind: int, size: int) -> int:
+        if kind not in (FUSION, FISSION):
+            raise ConfigurationError(f"kind must be FUSION or FISSION, got {kind}")
+        if size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {size}")
+        return min(size, self.num_vertices)
+
+    def distribution(self, kind: int, size: int) -> np.ndarray:
+        """The ``(4,)`` ejection distribution for an atom of ``size``."""
+        size = self._check(kind, size)
+        return self.probabilities[kind, size].copy()
+
+    def sample(self, kind: int, size: int, rng: SeedLike = None) -> int:
+        """Draw an ejection count (0..3) from the law."""
+        size = self._check(kind, size)
+        rng = ensure_rng(rng)
+        p = self.probabilities[kind, size]
+        return int(rng.choice(_MAX_EJECT + 1, p=p))
+
+    def update(self, kind: int, size: int, choice: int, improved: bool) -> None:
+        """Reinforce (or weaken) the law after observing the outcome.
+
+        ``improved=True`` adds ``learning_rate`` to the chosen count's
+        probability and removes a third of it from each other feasible
+        count; ``improved=False`` does the reverse.  The update is clipped
+        so every feasible probability stays in ``[_EPS, 1 - _EPS]`` and
+        the row renormalises to exactly 1.
+        """
+        size = self._check(kind, size)
+        if not (0 <= choice <= _MAX_EJECT):
+            raise ConfigurationError(f"choice must be in [0, 3], got {choice}")
+        row = self.probabilities[kind, size]
+        feasible = row > 0.0
+        if not feasible[choice]:
+            return  # the operator clamped an infeasible draw; nothing to learn
+        nf = int(feasible.sum())
+        if nf <= 1:
+            return  # degenerate law (tiny atom): nothing to redistribute
+        delta = self.learning_rate if improved else -self.learning_rate
+        row[choice] += delta
+        others = feasible.copy()
+        others[choice] = False
+        row[others] -= delta / 3.0
+        # Renormalise while keeping every feasible probability >= _EPS:
+        # clamp to the floor, then shrink the remaining mass above the
+        # floor proportionally so the row sums to exactly one.
+        vals = np.clip(row[feasible], _EPS, None)
+        spare = vals - _EPS
+        target_spare = 1.0 - nf * _EPS
+        spare_sum = float(spare.sum())
+        if spare_sum > 0:
+            vals = _EPS + spare * (target_spare / spare_sum)
+        else:
+            vals = np.full(nf, 1.0 / nf)
+        row[feasible] = vals
+        self.probabilities[kind, size] = row

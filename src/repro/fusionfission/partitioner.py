@@ -1,0 +1,130 @@
+"""Public fusion–fission partitioner.
+
+:class:`FusionFissionPartitioner` exposes the paper's five parameters
+(``tmax``, ``tmin``, ``nbt``, and the ``k``/``r`` constants of α(t), here
+``alpha_slope``/``alpha_offset``) plus engineering knobs (step/time budget,
+objective, law learning rate).  Ablation switches — turning off the
+binding-energy scaling, law learning, restarts, or percolation-based
+fission — are provided for the design-choice benchmarks listed in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.fusionfission.core import (
+    FusionFissionResult,
+    fusion_fission_search,
+    initialize_molecule,
+)
+from repro.fusionfission.energy import ScaledEnergy
+from repro.fusionfission.laws import LawTable
+from repro.fusionfission.temperature import TemperatureSchedule
+from repro.graph.graph import Graph
+from repro.partition.partition import Partition
+
+__all__ = ["FusionFissionPartitioner"]
+
+
+@dataclass
+class FusionFissionPartitioner:
+    """Table 1's "Fusion Fission" row — the paper's contribution.
+
+    Attributes
+    ----------
+    k:
+        Target number of atoms; the returned partition has exactly ``k``
+        parts (use :meth:`search` for the full multi-k result).
+    objective:
+        Raw criterion being optimised (the ATC study uses ``"mcut"``).
+    tmax, tmin, nbt, alpha_slope, alpha_offset:
+        The five paper parameters (§6: "the fusion fission algorithm has
+        five parameters, tmax, tmin and nbt for the temperature, k and r
+        in α(t) for the choice function").
+    law_learning_rate:
+        The reinforcement "input value" of §4.1.
+    max_steps, time_budget:
+        Stopping criteria.
+    scale_energy:
+        Ablation: set False to optimise the raw objective without the
+        binding-energy curve (the search then collapses toward few parts).
+    learn_laws:
+        Ablation: set False to keep ejection laws uniform.
+    max_parts_factor:
+        Ceiling on part count as a multiple of ``k``.
+    """
+
+    k: int
+    objective: str = "mcut"
+    tmax: float = 1.0
+    tmin: float = 0.0
+    nbt: int = 300
+    alpha_slope: float = 1.0
+    alpha_offset: float = 0.5
+    law_learning_rate: float = 0.05
+    max_steps: int = 4000
+    time_budget: float | None = None
+    scale_energy: bool = True
+    learn_laws: bool = True
+    max_parts_factor: float = 1.4
+
+    name = "fusion-fission"
+
+    def _energy(self, graph: Graph) -> ScaledEnergy:
+        energy = ScaledEnergy(graph.num_vertices, self.k, objective=self.objective)
+        if not self.scale_energy:
+            # Ablation: identity scaling (raw per-molecule objective).
+            energy.scale.binding_for_parts = lambda k: 1.0  # type: ignore[method-assign]
+        return energy
+
+    def _laws(self, graph: Graph) -> LawTable:
+        laws = LawTable(graph.num_vertices, learning_rate=self.law_learning_rate)
+        if not self.learn_laws:
+            laws.update = lambda *args, **kwargs: None  # type: ignore[method-assign]
+        return laws
+
+    def search(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> FusionFissionResult:
+        """Run the full search and return the multi-k result object."""
+        rng = ensure_rng(seed)
+        energy = self._energy(graph)
+        laws = self._laws(graph)
+        schedule = TemperatureSchedule(
+            tmax=self.tmax,
+            tmin=self.tmin,
+            nbt=self.nbt,
+            alpha_slope=self.alpha_slope,
+            alpha_offset=self.alpha_offset,
+        )
+        initial = initialize_molecule(graph, self.k, laws, energy, seed=rng)
+        return fusion_fission_search(
+            graph,
+            self.k,
+            energy,
+            schedule=schedule,
+            laws=laws,
+            max_steps=self.max_steps,
+            time_budget=self.time_budget,
+            max_parts_factor=self.max_parts_factor,
+            seed=rng,
+            initial=initial,
+            on_improvement=on_improvement,
+        )
+
+    def partition(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> Partition:
+        """Best partition with exactly ``self.k`` parts."""
+        result = self.search(graph, seed=seed, on_improvement=on_improvement)
+        assert result.best_at_target is not None
+        return result.best_at_target

@@ -1,0 +1,121 @@
+"""Temperature schedule and the fusion/fission choice rule (paper §4.3).
+
+* ``decrease(t) = t - (tmax - tmin) / nbt`` — the temperature takes ``nbt``
+  equal steps from ``tmax`` down to ``tmin`` (the paper renders the
+  formula inline; the accompanying text fixes the semantics: "the
+  temperature will decrease nbt times before reaching tmin").
+* ``α(t) = k * (tmax - t) / (tmax - tmin) + r`` — a *sharpness* that grows
+  as the system cools (``k`` and ``r`` are user constants; we name them
+  ``alpha_slope`` and ``alpha_offset`` to avoid clashing with the part
+  count).
+* ``choice(x)`` — the probability that the selected atom of ``x`` nucleons
+  undergoes **fission**::
+
+      choice(x) = 1                      if x > n + 1/(2 α(t))
+                  0                      if x < n - 1/(2 α(t))
+                  α(t) (x - n) + 1/2     otherwise
+
+  with ``n = nbv / k_target`` the ideal atom size.  Hot systems have a
+  wide linear band (fission/fusion nearly coin-flip for mid-sized atoms,
+  "the higher the temperature … the easier the fusion of big atoms and
+  the fission of small atoms"); cold systems snap to a hard threshold at
+  the ideal size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_temperature_range
+
+__all__ = ["TemperatureSchedule", "alpha_sharpness", "choice_probability"]
+
+
+def alpha_sharpness(
+    t: float,
+    tmax: float,
+    tmin: float,
+    slope: float,
+    offset: float,
+) -> float:
+    """``α(t) = slope * (tmax - t)/(tmax - tmin) + offset`` (> 0)."""
+    check_temperature_range(tmin, tmax)
+    if slope < 0 or offset <= 0:
+        raise ConfigurationError(
+            f"need slope >= 0 and offset > 0, got ({slope}, {offset})"
+        )
+    frac = (tmax - t) / (tmax - tmin)
+    frac = min(max(frac, 0.0), 1.0)
+    return slope * frac + offset
+
+
+def choice_probability(x: float, ideal_size: float, alpha: float) -> float:
+    """Probability that an atom of ``x`` nucleons fissions (paper §4.3)."""
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+    half_band = 1.0 / (2.0 * alpha)
+    if x > ideal_size + half_band:
+        return 1.0
+    if x < ideal_size - half_band:
+        return 0.0
+    return alpha * (x - ideal_size) + 0.5
+
+
+@dataclass
+class TemperatureSchedule:
+    """Linear cooling with the α(t)/choice machinery bundled in.
+
+    Attributes
+    ----------
+    tmax, tmin:
+        Temperature range (two of the algorithm's five parameters).
+    nbt:
+        Number of cooling steps from ``tmax`` to ``tmin`` (third
+        parameter).
+    alpha_slope, alpha_offset:
+        The ``k`` and ``r`` constants of α(t) (fourth and fifth).
+    """
+
+    tmax: float = 1.0
+    tmin: float = 0.0
+    nbt: int = 500
+    alpha_slope: float = 1.0
+    alpha_offset: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_temperature_range(self.tmin, self.tmax)
+        if self.nbt < 1:
+            raise ConfigurationError(f"nbt must be >= 1, got {self.nbt}")
+        if self.alpha_slope < 0 or self.alpha_offset <= 0:
+            raise ConfigurationError(
+                "need alpha_slope >= 0 and alpha_offset > 0"
+            )
+        self.step = (self.tmax - self.tmin) / self.nbt
+
+    def initial(self) -> float:
+        """Starting (maximal) temperature."""
+        return self.tmax
+
+    def decrease(self, t: float) -> float:
+        """One cooling step (paper's ``decrease(t)``)."""
+        return t - self.step
+
+    def too_low(self, t: float) -> bool:
+        """The restart trigger of Algorithm 1 (``low temperature``)."""
+        return t <= self.tmin + 1e-12
+
+    def normalized(self, t: float) -> float:
+        """``(t - tmin)/(tmax - tmin)`` clamped to [0, 1]."""
+        frac = (t - self.tmin) / (self.tmax - self.tmin)
+        return min(max(frac, 0.0), 1.0)
+
+    def alpha(self, t: float) -> float:
+        """Sharpness α(t) at temperature ``t``."""
+        return alpha_sharpness(
+            t, self.tmax, self.tmin, self.alpha_slope, self.alpha_offset
+        )
+
+    def fission_probability(self, atom_size: int, ideal_size: float, t: float) -> float:
+        """``choice(x)`` evaluated at this temperature."""
+        return choice_probability(float(atom_size), ideal_size, self.alpha(t))

@@ -1,0 +1,235 @@
+"""Synthetic graph generators.
+
+Besides the usual structured families (grid, torus, cycle, caveman, …) used
+by the test suite and benchmarks, :func:`random_geometric_graph` is the
+workhorse for ATC-like instances: sectors are points in the plane, adjacency
+follows proximity, and weights decay with distance — see
+:mod:`repro.atc.europe` for the full paper-scale instance built on top of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import GraphError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "barbell_graph",
+    "weighted_caveman_graph",
+    "random_geometric_graph",
+]
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """Complete graph ``K_n`` with uniform edge weight."""
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    iu, iv = np.triu_indices(n, k=1)
+    return Graph.from_arrays(n, iu, iv, np.full(iu.shape[0], float(weight)))
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return Graph.from_arrays(n, u, v, np.full(n, float(weight)))
+
+
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """Path ``P_n`` on ``n`` vertices."""
+    if n < 1:
+        raise GraphError(f"path needs n >= 1, got {n}")
+    u = np.arange(n - 1, dtype=np.int64)
+    return Graph.from_arrays(n, u, u + 1, np.full(max(n - 1, 0), float(weight)))
+
+
+def star_graph(n_leaves: int, weight: float = 1.0) -> Graph:
+    """Star with a hub (vertex 0) and ``n_leaves`` leaves."""
+    if n_leaves < 0:
+        raise GraphError(f"n_leaves must be >= 0, got {n_leaves}")
+    u = np.zeros(n_leaves, dtype=np.int64)
+    v = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return Graph.from_arrays(n_leaves + 1, u, v, np.full(n_leaves, float(weight)))
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """4-connected ``rows x cols`` grid; vertex ``(r, c)`` has id ``r*cols+c``.
+
+    Grids are the classic mesh-partitioning testbed (paper §1 mentions mesh
+    partitioning of a 2-D airfoil surface).
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs rows, cols >= 1, got ({rows}, {cols})")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_u = ids[:, :-1].ravel()
+    right_v = ids[:, 1:].ravel()
+    down_u = ids[:-1, :].ravel()
+    down_v = ids[1:, :].ravel()
+    u = np.concatenate([right_u, down_u])
+    v = np.concatenate([right_v, down_v])
+    return Graph.from_arrays(rows * cols, u, v, np.full(u.shape[0], float(weight)))
+
+
+def torus_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """Grid with wrap-around edges (each vertex has degree 4).
+
+    Requires ``rows, cols >= 3`` so wrap edges do not duplicate grid edges.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError(f"torus needs rows, cols >= 3, got ({rows}, {cols})")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_u = ids.ravel()
+    right_v = np.roll(ids, -1, axis=1).ravel()
+    down_u = ids.ravel()
+    down_v = np.roll(ids, -1, axis=0).ravel()
+    u = np.concatenate([right_u, down_u])
+    v = np.concatenate([right_v, down_v])
+    return Graph.from_arrays(rows * cols, u, v, np.full(u.shape[0], float(weight)))
+
+
+def barbell_graph(clique: int, bridge: int = 1, weight: float = 1.0) -> Graph:
+    """Two ``K_clique`` cliques joined by a path of ``bridge`` edges.
+
+    The canonical "obvious bisection" instance: the minimum cut severs the
+    bridge.  Used heavily in tests as a ground-truth case.
+    """
+    if clique < 2:
+        raise GraphError(f"barbell needs clique size >= 2, got {clique}")
+    if bridge < 1:
+        raise GraphError(f"barbell needs bridge length >= 1, got {bridge}")
+    builder = GraphBuilder(2 * clique + bridge - 1)
+    for block_start in (0, clique + bridge - 1):
+        for i in range(clique):
+            for j in range(i + 1, clique):
+                builder.add_edge(block_start + i, block_start + j, weight)
+    # Path from the last vertex of clique A to the first of clique B.
+    chain = [clique - 1] + list(range(clique, clique + bridge - 1)) + [clique + bridge - 1]
+    for a, b in zip(chain[:-1], chain[1:]):
+        builder.add_edge(a, b, weight)
+    return builder.build()
+
+
+def weighted_caveman_graph(
+    num_caves: int,
+    cave_size: int,
+    intra_weight: float = 10.0,
+    inter_weight: float = 1.0,
+) -> Graph:
+    """``num_caves`` cliques, consecutive caves linked by one weak edge.
+
+    Strong community structure with a planted optimal partition (one cave
+    per block) — the shape that the ATC instance exhibits at country scale.
+    """
+    if num_caves < 1 or cave_size < 2:
+        raise GraphError(
+            f"caveman needs num_caves >= 1 and cave_size >= 2, got "
+            f"({num_caves}, {cave_size})"
+        )
+    builder = GraphBuilder(num_caves * cave_size)
+    for cave in range(num_caves):
+        base = cave * cave_size
+        for i in range(cave_size):
+            for j in range(i + 1, cave_size):
+                builder.add_edge(base + i, base + j, intra_weight)
+    for cave in range(num_caves - 1):
+        builder.add_edge(
+            cave * cave_size + cave_size - 1, (cave + 1) * cave_size, inter_weight
+        )
+    if num_caves > 2:
+        builder.add_edge((num_caves - 1) * cave_size + cave_size - 1, 0, inter_weight)
+    return builder.build()
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    seed: SeedLike = None,
+    weight_scale: float = 1.0,
+    connect: bool = True,
+    points: np.ndarray | None = None,
+) -> tuple[Graph, np.ndarray]:
+    """Random geometric graph on the unit square.
+
+    Vertices are uniform points; an edge joins any pair within ``radius``;
+    the weight of an edge decays linearly with distance:
+    ``w = weight_scale * (1 - dist/radius)`` (closer sectors exchange more
+    traffic).  With ``connect=True``, nearest-neighbour edges are added
+    between components until the graph is connected (weight equal to the
+    minimum positive generated weight).
+
+    Returns
+    -------
+    (graph, points):
+        The graph and the ``(n, 2)`` coordinate array (useful for plotting
+        and for the ATC layout).
+    """
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if radius <= 0:
+        raise GraphError(f"radius must be > 0, got {radius}")
+    rng = ensure_rng(seed)
+    if points is None:
+        points = rng.random((n, 2))
+    else:
+        points = np.asarray(points, dtype=np.float64)
+        if points.shape != (n, 2):
+            raise GraphError(f"points must have shape ({n}, 2)")
+    # Pairwise distances in blocks to bound memory for large n.
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    ds: list[np.ndarray] = []
+    block = max(1, int(4e7) // max(n, 1))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        diff = points[start:stop, None, :] - points[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        iu, iv = np.nonzero(dist <= radius)
+        iu_global = iu + start
+        keep = iu_global < iv
+        us.append(iu_global[keep])
+        vs.append(iv[keep])
+        ds.append(dist[iu[keep], iv[keep]])
+    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
+    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
+    d = np.concatenate(ds) if ds else np.empty(0, dtype=np.float64)
+    w = weight_scale * (1.0 - d / radius)
+    w = np.maximum(w, 1e-6 * weight_scale)
+    graph = Graph.from_arrays(n, u, v, w)
+
+    if connect:
+        from repro.graph.connectivity import connected_components
+
+        labels = connected_components(graph)
+        num_comp = int(labels.max()) + 1 if n else 0
+        if num_comp > 1:
+            builder = GraphBuilder(n)
+            eu, ev, ew = graph.edge_arrays()
+            min_w = float(ew.min()) if ew.size else weight_scale * 0.01
+            for a, b, c in zip(eu, ev, ew):
+                builder.add_edge(int(a), int(b), float(c))
+            # Greedily join each component to the nearest vertex outside it.
+            while num_comp > 1:
+                comp0 = np.flatnonzero(labels == 0)
+                rest = np.flatnonzero(labels != 0)
+                diff = points[comp0, None, :] - points[None, rest, :]
+                dist = np.sqrt((diff * diff).sum(axis=2))
+                i, j = np.unravel_index(np.argmin(dist), dist.shape)
+                builder.add_edge(int(comp0[i]), int(rest[j]), min_w)
+                labels[labels == labels[rest[j]]] = 0
+                uniq = np.unique(labels)
+                relabel = {old: new for new, old in enumerate(uniq)}
+                labels = np.vectorize(relabel.get)(labels)
+                num_comp = len(uniq)
+            graph = builder.build()
+    return graph, points

@@ -1,0 +1,67 @@
+"""Laplacian and adjacency linear algebra on CSR graphs.
+
+The spectral partitioner (paper §2.1) works with the combinatorial Laplacian
+``L = D - W`` and, for the Ncut/Mcut criteria, the generalised problems
+``L x = λ D x`` and ``L x = λ W x``.  Everything here returns
+``scipy.sparse`` matrices built directly from the graph's CSR arrays — no
+densification for large graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "adjacency_matrix",
+    "degree_vector",
+    "laplacian_matrix",
+    "normalized_laplacian_matrix",
+]
+
+
+def adjacency_matrix(graph: Graph) -> sp.csr_matrix:
+    """The symmetric weighted adjacency matrix ``W`` as CSR.
+
+    Shares no storage with the graph (scipy may canonicalise), but is built
+    with zero-copy views of indptr/indices/weights.
+    """
+    n = graph.num_vertices
+    return sp.csr_matrix(
+        (graph.weights, graph.indices, graph.indptr), shape=(n, n)
+    )
+
+
+def degree_vector(graph: Graph) -> np.ndarray:
+    """Weighted degrees ``d(u) = sum_v w(u, v)`` as a ``(n,)`` array."""
+    return np.asarray(graph.degree(), dtype=np.float64).copy()
+
+
+def laplacian_matrix(graph: Graph) -> sp.csr_matrix:
+    """Combinatorial Laplacian ``L = D - W`` as CSR."""
+    w = adjacency_matrix(graph)
+    d = degree_vector(graph)
+    return (sp.diags(d) - w).tocsr()
+
+
+def normalized_laplacian_matrix(graph: Graph, eps: float = 1e-12) -> sp.csr_matrix:
+    """Symmetric normalised Laplacian ``D^{-1/2} L D^{-1/2}``.
+
+    Zero-degree vertices get an identity row (their normalised degree is
+    defined as 0).  ``eps`` guards the inverse square root.
+    """
+    d = degree_vector(graph)
+    inv_sqrt = np.where(d > eps, 1.0 / np.sqrt(np.maximum(d, eps)), 0.0)
+    lap = laplacian_matrix(graph)
+    scale = sp.diags(inv_sqrt)
+    norm = (scale @ lap @ scale).tocsr()
+    # Isolated vertices: put 1 on the diagonal so the spectrum stays in [0, 2].
+    isolated = np.flatnonzero(d <= eps)
+    if isolated.size:
+        norm = norm.tolil()
+        for v in isolated:
+            norm[v, v] = 1.0
+        norm = norm.tocsr()
+    return norm

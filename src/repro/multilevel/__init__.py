@@ -1,0 +1,28 @@
+"""Multilevel graph partitioning (paper §2.2).
+
+The Hendrickson–Leland / Karypis–Kumar scheme in three phases:
+
+1. **Coarsening** — repeatedly contract a heavy-edge matching until the
+   graph is small (:mod:`repro.multilevel.matching`,
+   :mod:`repro.multilevel.coarsening`),
+2. **Initial partitioning** — partition the coarsest graph (spectral by
+   default, greedy growing as fallback; :mod:`repro.multilevel.initial`),
+3. **Uncoarsening** — project the partition back level by level, refining
+   with FM/KL at each level (:mod:`repro.multilevel.partitioner`).
+"""
+
+from repro.multilevel.matching import heavy_edge_matching, random_matching
+from repro.multilevel.coarsening import CoarseLevel, coarsen_once, build_hierarchy
+from repro.multilevel.initial import initial_partition, greedy_growing_partition
+from repro.multilevel.partitioner import MultilevelPartitioner
+
+__all__ = [
+    "heavy_edge_matching",
+    "random_matching",
+    "CoarseLevel",
+    "coarsen_once",
+    "build_hierarchy",
+    "initial_partition",
+    "greedy_growing_partition",
+    "MultilevelPartitioner",
+]

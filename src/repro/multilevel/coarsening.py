@@ -1,0 +1,78 @@
+"""Coarsening hierarchy construction.
+
+Each :class:`CoarseLevel` records the graph at that level and the map from
+the previous (finer) level's vertices to this level's vertices, so a
+partition of the coarsest graph can be projected back to the original graph
+by composing maps (paper §2.2: "each vertex in a coarse graph is simply the
+union of vertices from a larger graph").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.graph.coarsen import contract_graph
+from repro.graph.graph import Graph
+from repro.multilevel.matching import heavy_edge_matching, matching_to_coarse_map
+
+__all__ = ["CoarseLevel", "coarsen_once", "build_hierarchy"]
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the hierarchy.
+
+    Attributes
+    ----------
+    graph:
+        The coarse graph at this level.
+    fine_to_coarse:
+        ``(n_fine,)`` map from the previous level's vertex ids to this
+        level's ids (``None`` for the finest level, which holds the input
+        graph itself).
+    """
+
+    graph: Graph
+    fine_to_coarse: np.ndarray | None
+
+
+def coarsen_once(
+    graph: Graph, seed: SeedLike = None, matcher=heavy_edge_matching
+) -> tuple[Graph, np.ndarray]:
+    """One coarsening step: match, contract, return (coarse, map)."""
+    mate = matcher(graph, seed=seed)
+    coarse_map = matching_to_coarse_map(mate)
+    coarse, _ = contract_graph(graph, coarse_map)
+    return coarse, coarse_map
+
+
+def build_hierarchy(
+    graph: Graph,
+    min_vertices: int = 64,
+    max_levels: int = 30,
+    seed: SeedLike = None,
+    matcher=heavy_edge_matching,
+    shrink_threshold: float = 0.95,
+) -> list[CoarseLevel]:
+    """Coarsen until fewer than ``min_vertices`` remain (or progress stalls).
+
+    Returns the hierarchy from finest (index 0: the input graph, map None)
+    to coarsest.  Coarsening stops early when a step shrinks the vertex
+    count by less than ``1 - shrink_threshold`` (matching saturated, e.g.
+    a star graph).
+    """
+    rng = ensure_rng(seed)
+    levels = [CoarseLevel(graph=graph, fine_to_coarse=None)]
+    current = graph
+    for _ in range(max_levels):
+        if current.num_vertices <= min_vertices:
+            break
+        coarse, coarse_map = coarsen_once(current, seed=rng, matcher=matcher)
+        if coarse.num_vertices >= int(shrink_threshold * current.num_vertices):
+            break
+        levels.append(CoarseLevel(graph=coarse, fine_to_coarse=coarse_map))
+        current = coarse
+    return levels

@@ -1,0 +1,111 @@
+"""Initial partitioning of the coarsest graph.
+
+Hendrickson & Leland "used a spectral method which uses the eigenvectors of
+the Laplacian matrix" at the coarsest level (paper §2.2); that is our
+default too.  :func:`greedy_growing_partition` (BFS region growing from
+random seeds, balanced by vertex weight) serves as the deterministic
+fallback when the coarse graph is too small or ill-conditioned for the
+eigensolver, and as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConvergenceError, ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.graph.graph import Graph
+from repro.partition.partition import Partition
+
+__all__ = ["initial_partition", "greedy_growing_partition"]
+
+
+def greedy_growing_partition(
+    graph: Graph, k: int, seed: SeedLike = None
+) -> Partition:
+    """Balanced BFS region growing into ``k`` parts.
+
+    Grows parts one at a time from a random unassigned seed, absorbing the
+    frontier vertex with the strongest connection to the growing region,
+    until the region reaches its vertex-weight quota.  Always produces
+    exactly ``k`` non-empty parts for ``k <= n``.
+    """
+    n = graph.num_vertices
+    if not (1 <= k <= n):
+        raise ConfigurationError(f"k must be in [1, {n}], got {k}")
+    rng = ensure_rng(seed)
+    assignment = np.full(n, -1, dtype=np.int64)
+    total_weight = float(graph.vertex_weights.sum())
+    remaining_weight = total_weight
+    unassigned = n
+    for part in range(k):
+        quota = remaining_weight / (k - part)
+        # Seed: random unassigned vertex.
+        pool = np.flatnonzero(assignment < 0)
+        seed_v = int(pool[rng.integers(pool.size)])
+        assignment[seed_v] = part
+        grown = float(graph.vertex_weights[seed_v])
+        unassigned -= 1
+        # connection[v] = edge weight from v into the growing region.
+        connection = np.zeros(n)
+        nbrs, wts = graph.neighbors(seed_v)
+        np.add.at(connection, nbrs, wts)
+        parts_left = k - part - 1
+        quota = min(quota, remaining_weight)
+        while grown < quota and unassigned > parts_left:
+            frontier = np.flatnonzero((assignment < 0) & (connection > 0))
+            if frontier.size == 0:
+                # Region is a whole component: jump to a fresh random seed.
+                pool = np.flatnonzero(assignment < 0)
+                if pool.size == 0:
+                    break
+                v = int(pool[rng.integers(pool.size)])
+            else:
+                v = int(frontier[np.argmax(connection[frontier])])
+            assignment[v] = part
+            grown += float(graph.vertex_weights[v])
+            unassigned -= 1
+            nbrs, wts = graph.neighbors(v)
+            np.add.at(connection, nbrs, wts)
+        remaining_weight -= grown
+    # Any leftovers join their most-connected part (or part 0).
+    for v in np.flatnonzero(assignment < 0):
+        nbrs, wts = graph.neighbors(int(v))
+        assigned = assignment[nbrs] >= 0
+        if assigned.any():
+            best = np.bincount(
+                assignment[nbrs[assigned]], weights=wts[assigned], minlength=k
+            )
+            assignment[v] = int(np.argmax(best))
+        else:
+            assignment[v] = 0
+    return Partition(graph, assignment)
+
+
+def initial_partition(
+    graph: Graph,
+    k: int,
+    method: str = "spectral",
+    seed: SeedLike = None,
+) -> Partition:
+    """Partition the coarsest graph into ``k`` parts.
+
+    ``method="spectral"`` uses recursive spectral bisection when ``k`` is a
+    power of two (falling back to greedy growing on solver failure or
+    non-power-of-two ``k``); ``method="greedy"`` always region-grows.
+    """
+    if method == "greedy":
+        return greedy_growing_partition(graph, k, seed=seed)
+    if method != "spectral":
+        raise ConfigurationError(
+            f"unknown initial method {method!r}; choose 'spectral' or 'greedy'"
+        )
+    power_of_two = k >= 1 and (k & (k - 1)) == 0
+    if power_of_two and k <= graph.num_vertices:
+        from repro.spectral.bisection import recursive_spectral_partition
+
+        try:
+            return recursive_spectral_partition(graph, k, seed=seed)
+        except ConvergenceError:
+            pass
+    return greedy_growing_partition(graph, k, seed=seed)

@@ -1,0 +1,46 @@
+"""Balance metrics and constraints.
+
+The paper's problem statement asks for parts of "roughly equal size"; the
+standard way to quantify that is the *imbalance ratio*
+``max_A weight(A) / (total_weight / k)`` (1.0 = perfectly balanced).
+Weights here are **vertex weights** (uniform by default), which is what
+coarsened graphs carry through the multilevel hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.partition import Partition
+
+__all__ = [
+    "imbalance",
+    "max_part_weight",
+    "part_weight_bounds",
+    "is_balanced",
+]
+
+
+def max_part_weight(partition: Partition) -> float:
+    """Largest part vertex-weight."""
+    return float(partition.vertex_weight.max())
+
+
+def part_weight_bounds(partition: Partition) -> tuple[float, float]:
+    """``(min, max)`` part vertex-weights."""
+    return float(partition.vertex_weight.min()), float(partition.vertex_weight.max())
+
+
+def imbalance(partition: Partition) -> float:
+    """``max_A weight(A) / (total/k)`` — 1.0 means perfectly balanced."""
+    total = float(partition.vertex_weight.sum())
+    k = partition.num_parts
+    ideal = total / k
+    if ideal <= 0.0:
+        return 1.0
+    return max_part_weight(partition) / ideal
+
+
+def is_balanced(partition: Partition, epsilon: float = 0.05) -> bool:
+    """True when every part is within ``(1+epsilon)`` of the ideal weight."""
+    return imbalance(partition) <= 1.0 + epsilon

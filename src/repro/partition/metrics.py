@@ -1,0 +1,97 @@
+"""Partition quality reporting.
+
+:func:`evaluate_partition` computes everything the paper's Table 1 reports
+(Cut, Ncut, Mcut) plus the diagnostics the text discusses: per-part
+connectivity (§3.2 notes connected blocks usually score better), balance and
+part-count statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.connectivity import is_connected
+from repro.partition.balance import imbalance
+from repro.partition.moves import boundary_vertices
+from repro.partition.objectives import CutObjective, McutObjective, NcutObjective
+from repro.partition.partition import Partition
+
+__all__ = ["PartitionReport", "evaluate_partition"]
+
+
+@dataclass
+class PartitionReport:
+    """Summary statistics of a partition.
+
+    Attributes
+    ----------
+    num_parts:
+        Number of parts ``k``.
+    cut:
+        Paper's ``Cut`` (cross edges counted twice).
+    edge_cut:
+        Cross-edge weight counted once (``cut / 2``).
+    ncut, mcut:
+        Normalised and min-max cut values.
+    min_size, max_size:
+        Smallest / largest part vertex counts.
+    imbalance:
+        ``max part weight / ideal part weight``.
+    num_connected_parts:
+        How many parts induce a connected subgraph.
+    num_boundary_vertices:
+        Vertices incident to at least one cut edge.
+    """
+
+    num_parts: int
+    cut: float
+    edge_cut: float
+    ncut: float
+    mcut: float
+    min_size: int
+    max_size: int
+    imbalance: float
+    num_connected_parts: int
+    num_boundary_vertices: int
+    part_sizes: np.ndarray = field(repr=False)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (part_sizes as list) for JSON serialisation."""
+        return {
+            "num_parts": self.num_parts,
+            "cut": self.cut,
+            "edge_cut": self.edge_cut,
+            "ncut": self.ncut,
+            "mcut": self.mcut,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+            "imbalance": self.imbalance,
+            "num_connected_parts": self.num_connected_parts,
+            "num_boundary_vertices": self.num_boundary_vertices,
+            "part_sizes": [int(s) for s in self.part_sizes],
+        }
+
+
+def evaluate_partition(partition: Partition) -> PartitionReport:
+    """Compute a :class:`PartitionReport` for ``partition``."""
+    g = partition.graph
+    connected = 0
+    for part in range(partition.num_parts):
+        mask = partition.assignment == part
+        if is_connected(g, mask=mask):
+            connected += 1
+    return PartitionReport(
+        num_parts=partition.num_parts,
+        cut=CutObjective().value(partition),
+        edge_cut=partition.edge_cut(),
+        ncut=NcutObjective().value(partition),
+        mcut=McutObjective().value(partition),
+        min_size=int(partition.size.min()),
+        max_size=int(partition.size.max()),
+        imbalance=imbalance(partition),
+        num_connected_parts=connected,
+        num_boundary_vertices=int(boundary_vertices(partition).shape[0]),
+        part_sizes=np.sort(partition.size.copy()),
+    )

@@ -1,0 +1,44 @@
+"""Move-evaluation helpers shared by refinement and metaheuristic loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.partition import Partition
+
+__all__ = ["neighbor_part_weights", "move_gain_cut", "boundary_vertices"]
+
+
+def neighbor_part_weights(partition: Partition, v: int) -> np.ndarray:
+    """``(k,)`` array of edge weight from ``v`` into each part.
+
+    Thin functional wrapper over
+    :meth:`~repro.partition.Partition.neighbor_part_weights` for callers
+    that prefer free functions.
+    """
+    return partition.neighbor_part_weights(v)
+
+
+def move_gain_cut(partition: Partition, v: int, target: int) -> float:
+    """Classic FM gain of moving ``v`` to ``target``: reduction in edge cut.
+
+    ``gain = w(v → target) − w(v → own part)``; positive gains reduce the
+    (once-counted) edge cut by exactly the gain.
+    """
+    w_parts = partition.neighbor_part_weights(v)
+    source = partition.part_of(v)
+    if source == target:
+        return 0.0
+    return float(w_parts[target] - w_parts[source])
+
+
+def boundary_vertices(partition: Partition) -> np.ndarray:
+    """Vertices with at least one neighbour in a different part.
+
+    Vectorised over the whole CSR structure: O(n + m).
+    """
+    g = partition.graph
+    a = partition.assignment
+    owner = np.repeat(np.arange(g.num_vertices, dtype=np.int64), np.diff(g.indptr))
+    crossing = a[owner] != a[g.indices]
+    return np.unique(owner[crossing])

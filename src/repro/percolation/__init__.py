@@ -1,0 +1,26 @@
+"""Percolation partitioning (paper §4.4).
+
+``k`` coloured "liquids" start from ``k`` centre vertices and flood the
+graph; a vertex joins the partition whose centre it is most strongly
+*bonded* to, where the bond along a path discounts edge weights by
+``2^d`` with ``d`` the hop distance from the centre.  The process is used
+three ways in the paper: as a standalone partitioner (Table 1 row
+"Percolation"), to initialise simulated annealing and ant colony, and to
+cut one atom in two during fission.
+"""
+
+from repro.percolation.percolation import (
+    percolation_bonds,
+    percolation_partition,
+    percolation_bisect,
+    choose_spread_centers,
+    PercolationPartitioner,
+)
+
+__all__ = [
+    "percolation_bonds",
+    "percolation_partition",
+    "percolation_bisect",
+    "choose_spread_centers",
+    "PercolationPartitioner",
+]

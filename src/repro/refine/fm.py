@@ -1,0 +1,162 @@
+"""Fiduccia–Mattheyses k-way refinement.
+
+Single-vertex moves ordered by gain (max-heap with lazy invalidation — the
+array-of-buckets of the original paper assumes integer gains; a heap gives
+the same asymptotics for float weights).  One *pass*:
+
+1. compute, for every boundary vertex, the best-gain admissible target part;
+2. repeatedly pop the best candidate, re-validate its gain, apply the move,
+   lock the vertex, and refresh its neighbours' candidates;
+3. when no admissible candidate remains, roll back to the best prefix
+   (possibly empty) of the move sequence.
+
+Balance is enforced with a vertex-weight ceiling per part and a floor that
+prevents emptying parts — FM therefore preserves ``k``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.partition.moves import boundary_vertices
+from repro.partition.partition import Partition
+
+__all__ = ["fm_refine"]
+
+
+def _best_target(
+    partition: Partition,
+    v: int,
+    max_weight: float,
+    min_weight: float = 0.0,
+) -> tuple[float, int] | None:
+    """Best admissible (gain, target) for ``v``; None if no move allowed."""
+    source = partition.part_of(v)
+    if partition.size[source] <= 1:
+        return None
+    vw = float(partition.graph.vertex_weights[v])
+    # Weight floor: never drain a part below min_weight (prevents the
+    # pathological collapse of one part into its neighbours).
+    if partition.vertex_weight[source] - vw < min_weight:
+        return None
+    w_parts = partition.neighbor_part_weights(v)
+    gains = w_parts - w_parts[source]
+    gains[source] = -np.inf
+    # Disallow overweight targets.
+    over = partition.vertex_weight + vw > max_weight
+    gains[over] = -np.inf
+    # Only consider parts v actually touches (moving elsewhere cannot beat
+    # them on gain and usually disconnects the part).
+    untouched = w_parts <= 0.0
+    untouched[source] = True
+    gains[untouched] = -np.inf
+    target = int(np.argmax(gains))
+    if not np.isfinite(gains[target]):
+        return None
+    return float(gains[target]), target
+
+
+def fm_refine(
+    partition: Partition,
+    max_passes: int = 8,
+    balance_tolerance: float = 0.10,
+    allow_negative_moves: bool = True,
+) -> float:
+    """Run FM passes until no pass improves or ``max_passes`` is reached.
+
+    Parameters
+    ----------
+    partition:
+        Refined **in place**; ``k`` is preserved.
+    max_passes:
+        Maximum number of full passes.
+    balance_tolerance:
+        Per-part vertex-weight ceiling ``(1 + tol) * ideal``; moves that
+        would exceed it are inadmissible.  The ceiling never drops below
+        the current maximum part weight, so refinement of an already
+        imbalanced partition is not dead-locked.
+    allow_negative_moves:
+        If True (classic FM), tentatively accept worsening moves within a
+        pass, relying on the rollback to the best prefix; if False, a pass
+        stops at the first non-improving candidate (faster, weaker).
+
+    Returns
+    -------
+    float
+        Total reduction in (once-counted) edge cut across all passes, >= 0.
+    """
+    total_improvement = 0.0
+    n = partition.graph.num_vertices
+    ideal = float(partition.vertex_weight.sum()) / partition.num_parts
+    max_weight = max(
+        (1.0 + balance_tolerance) * ideal,
+        float(partition.vertex_weight.max()),
+    )
+    # Floor: parts may not drop below (1 - 2*tol) of ideal, relaxed to the
+    # current minimum so pre-imbalanced inputs are not dead-locked.
+    min_weight = min(
+        max(0.0, (1.0 - 2.0 * balance_tolerance) * ideal),
+        float(partition.vertex_weight.min()),
+    )
+
+    for _ in range(max_passes):
+        locked = np.zeros(n, dtype=bool)
+        heap: list[tuple[float, int, int, int]] = []
+        stamp = 0
+        for v in boundary_vertices(partition):
+            cand = _best_target(partition, int(v), max_weight, min_weight)
+            if cand is not None:
+                gain, target = cand
+                heapq.heappush(heap, (-gain, stamp, int(v), target))
+                stamp += 1
+
+        moves: list[tuple[int, int, int]] = []  # (vertex, from, to)
+        cut_before = partition.edge_cut()
+        best_cut = cut_before
+        best_prefix = 0
+
+        while heap:
+            neg_gain, _, v, target = heapq.heappop(heap)
+            if locked[v]:
+                continue
+            cand = _best_target(partition, v, max_weight, min_weight)
+            if cand is None:
+                continue
+            gain, fresh_target = cand
+            if fresh_target != target or abs(gain + neg_gain) > 1e-9:
+                # Stale entry: re-push with the current best and retry.
+                heapq.heappush(heap, (-gain, stamp, v, fresh_target))
+                stamp += 1
+                continue
+            if gain < 0 and not allow_negative_moves:
+                break
+            source = partition.part_of(v)
+            partition.move(v, target, allow_empty_source=False)
+            locked[v] = True
+            moves.append((v, source, target))
+            current_cut = partition.edge_cut()
+            if current_cut < best_cut - 1e-12:
+                best_cut = current_cut
+                best_prefix = len(moves)
+            # Refresh neighbour candidates.
+            nbrs = partition.graph.neighbor_ids(v)
+            for x in nbrs:
+                x = int(x)
+                if locked[x]:
+                    continue
+                cand_x = _best_target(partition, x, max_weight, min_weight)
+                if cand_x is not None:
+                    gx, tx = cand_x
+                    heapq.heappush(heap, (-gx, stamp, x, tx))
+                    stamp += 1
+
+        # Roll back moves after the best prefix.
+        for v, source, _target in reversed(moves[best_prefix:]):
+            partition.move(v, source, allow_empty_source=False)
+        pass_improvement = cut_before - partition.edge_cut()
+        total_improvement += pass_improvement
+        if pass_improvement <= 1e-12:
+            break
+    return float(total_improvement)

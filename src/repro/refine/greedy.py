@@ -1,0 +1,78 @@
+"""Greedy balance repair.
+
+Operators that reshape parts (percolation floods, fusion, fission) can leave
+severely uneven part weights.  :func:`greedy_balance` repeatedly moves the
+cheapest boundary vertex out of the heaviest part until the imbalance target
+is met (or no admissible move remains).  It optimises balance *subject to*
+minimal cut damage — the mirror image of FM, which optimises cut subject to
+a balance ceiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.balance import imbalance
+from repro.partition.partition import Partition
+
+__all__ = ["greedy_balance"]
+
+
+def greedy_balance(
+    partition: Partition,
+    epsilon: float = 0.10,
+    max_moves: int | None = None,
+) -> int:
+    """Move vertices out of overweight parts until balanced.
+
+    Parameters
+    ----------
+    partition:
+        Modified in place; ``k`` is preserved (parts are never emptied).
+    epsilon:
+        Target imbalance: every part weight <= ``(1+epsilon) * ideal``.
+    max_moves:
+        Safety cap; defaults to ``4 * n``.
+
+    Returns
+    -------
+    int
+        Number of vertex moves performed.
+    """
+    g = partition.graph
+    n = g.num_vertices
+    if max_moves is None:
+        max_moves = 4 * n
+    ideal = float(partition.vertex_weight.sum()) / partition.num_parts
+    ceiling = (1.0 + epsilon) * ideal
+    moves = 0
+    while moves < max_moves:
+        heavy = int(np.argmax(partition.vertex_weight))
+        if partition.vertex_weight[heavy] <= ceiling:
+            break
+        members = partition.members(heavy)
+        if members.size <= 1:
+            break
+        # Choose the member whose departure costs the least cut increase
+        # and whose best target part is underweight.
+        best: tuple[float, int, int] | None = None
+        for v in members:
+            v = int(v)
+            w_parts = partition.neighbor_part_weights(v)
+            vw = float(g.vertex_weights[v])
+            gains = w_parts - w_parts[heavy]
+            gains[heavy] = -np.inf
+            over = partition.vertex_weight + vw > ceiling
+            gains[over] = -np.inf
+            target = int(np.argmax(gains))
+            if not np.isfinite(gains[target]):
+                continue
+            loss = -float(gains[target])  # cut increase of this move
+            if best is None or loss < best[0]:
+                best = (loss, v, target)
+        if best is None:
+            break
+        _, v, target = best
+        partition.move(v, target, allow_empty_source=False)
+        moves += 1
+    return moves

@@ -1,0 +1,180 @@
+"""Kernighan–Lin pairwise-swap refinement.
+
+The classic bisection heuristic [Kernighan & Lin 1970]: repeatedly swap the
+vertex pair with the best *gain*, lock swapped vertices, and at the end of a
+pass keep the best prefix of swaps (which may be empty).  The k-way
+extension sweeps all part pairs connected by at least one edge, refining
+each pair in isolation — exactly how Chaco generalises KL (paper §2.3).
+
+Only edges *inside* the two active parts matter for the swap gain: an edge
+from a swapped vertex to any third part stays cut whichever of the two parts
+the vertex lands in, so pairwise refinement provably never worsens the
+global edge cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import PartitionError
+from repro.partition.partition import Partition
+
+__all__ = ["kernighan_lin_pass", "kl_refine"]
+
+
+def _pair_state(partition: Partition, part_a: int, part_b: int):
+    """Collect members, D-values and intra-pair weights for a KL pass."""
+    members_a = partition.members(part_a)
+    members_b = partition.members(part_b)
+    g = partition.graph
+    # D_u = w(u -> other side) - w(u -> own side), edges within A∪B only.
+    side = np.full(g.num_vertices, -1, dtype=np.int8)
+    side[members_a] = 0
+    side[members_b] = 1
+    d_values: dict[int, float] = {}
+    for u in np.concatenate([members_a, members_b]):
+        nbrs, wts = g.neighbors(int(u))
+        s = side[nbrs]
+        own = float(wts[s == side[u]].sum())
+        other = float(wts[(s >= 0) & (s != side[u])].sum())
+        d_values[int(u)] = other - own
+    return members_a, members_b, side, d_values
+
+
+def kernighan_lin_pass(
+    partition: Partition,
+    part_a: int,
+    part_b: int,
+    max_swaps: int | None = None,
+) -> float:
+    """One KL pass between ``part_a`` and ``part_b``.
+
+    Performs tentative best-gain swaps until one side is exhausted (or
+    ``max_swaps`` reached), then commits the prefix with the best cumulative
+    gain.  Returns the achieved reduction in (once-counted) edge cut, >= 0.
+
+    The pass is O(swaps × (|A|+|B|+m_AB)) — fine at the paper's scale; the
+    inner candidate search is fully vectorised.
+    """
+    if part_a == part_b:
+        raise PartitionError("KL needs two distinct parts")
+    members_a, members_b, side, d_values = _pair_state(partition, part_a, part_b)
+    active = np.concatenate([members_a, members_b]).astype(np.int64)
+    if members_a.size == 0 or members_b.size == 0:
+        return 0.0
+    g = partition.graph
+    locked: set[int] = set()
+    swaps: list[tuple[int, int]] = []
+    gains: list[float] = []
+    cumulative = 0.0
+    limit = min(members_a.size, members_b.size)
+    if max_swaps is not None:
+        limit = min(limit, max_swaps)
+
+    d_arr = np.full(g.num_vertices, -np.inf)
+    for u, d in d_values.items():
+        d_arr[u] = d
+    side_now = side.copy()
+
+    for _ in range(limit):
+        unlocked = np.array(
+            [u for u in active if u not in locked], dtype=np.int64
+        )
+        ua = unlocked[side_now[unlocked] == 0]
+        ub = unlocked[side_now[unlocked] == 1]
+        if ua.size == 0 or ub.size == 0:
+            break
+        # Exact max of D_a + D_b - 2w(a,b): scan candidate pairs in
+        # descending D order; since w >= 0, once D_a + D_b can no longer
+        # beat the best gain found, prune (classic KL candidate scan).
+        ua_sorted = ua[np.argsort(-d_arr[ua])]
+        ub_sorted = ub[np.argsort(-d_arr[ub])]
+        best_gain = -np.inf
+        best_pair: tuple[int, int] | None = None
+        for u in ua_sorted:
+            u = int(u)
+            if d_arr[u] + d_arr[ub_sorted[0]] <= best_gain:
+                break  # no later u can do better either
+            for v in ub_sorted:
+                v = int(v)
+                pair_bound = d_arr[u] + d_arr[v]
+                if pair_bound <= best_gain:
+                    break
+                gain = pair_bound - 2.0 * g.edge_weight(u, v)
+                if gain > best_gain:
+                    best_gain = float(gain)
+                    best_pair = (u, v)
+        assert best_pair is not None
+        u, v = best_pair
+        locked.add(u)
+        locked.add(v)
+        swaps.append((u, v))
+        cumulative += float(best_gain)
+        gains.append(cumulative)
+        # Simulate the swap: update D of remaining vertices and sides.
+        for moved, joined_side in ((u, 1), (v, 0)):
+            nbrs, wts = g.neighbors(moved)
+            for x, w in zip(nbrs, wts):
+                x = int(x)
+                if side_now[x] < 0 or x in locked:
+                    continue
+                if side_now[x] == joined_side:
+                    d_arr[x] -= 2.0 * w
+                else:
+                    d_arr[x] += 2.0 * w
+        side_now[u] = 1
+        side_now[v] = 0
+
+    if not gains:
+        return 0.0
+    best_prefix = int(np.argmax(gains))
+    best_total = gains[best_prefix]
+    if best_total <= 1e-12:
+        return 0.0
+    cut_before = partition.edge_cut()
+    for u, v in swaps[: best_prefix + 1]:
+        partition.move(u, part_b, allow_empty_source=False)
+        partition.move(v, part_a, allow_empty_source=False)
+    # The simulated cumulative gain is exact (the tests assert it), but
+    # report the measured reduction so callers can trust the return value
+    # unconditionally.
+    return float(cut_before - partition.edge_cut())
+
+
+def kl_refine(
+    partition: Partition,
+    max_passes: int = 4,
+    max_swaps: int | None = None,
+) -> float:
+    """k-way KL: sweep all connected part pairs until no pass improves.
+
+    Each sweep visits every pair of parts joined by at least one edge and
+    runs :func:`kernighan_lin_pass` on it.  Stops after ``max_passes``
+    sweeps or when a full sweep yields no improvement.  Returns the total
+    edge-cut reduction.
+    """
+    total = 0.0
+    for _ in range(max_passes):
+        improved = 0.0
+        k = partition.num_parts
+        # Identify connected part pairs from the current cut edges.
+        g = partition.graph
+        a = partition.assignment
+        owner = np.repeat(
+            np.arange(g.num_vertices, dtype=np.int64), np.diff(g.indptr)
+        )
+        crossing = a[owner] != a[g.indices]
+        pa = a[owner[crossing]]
+        pb = a[g.indices[crossing]]
+        lo = np.minimum(pa, pb)
+        hi = np.maximum(pa, pb)
+        pairs = np.unique(lo * np.int64(k) + hi)
+        for key in pairs:
+            pa_, pb_ = int(key // k), int(key % k)
+            improved += kernighan_lin_pass(
+                partition, pa_, pb_, max_swaps=max_swaps
+            )
+        total += improved
+        if improved <= 1e-12:
+            break
+    return total

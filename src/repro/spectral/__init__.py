@@ -1,0 +1,42 @@
+"""Spectral graph partitioning (paper §2.1).
+
+The pipeline is: build the Laplacian ``L = D - W``, compute its smallest
+non-trivial eigenvectors (the *Fiedler order*), and split vertices by the
+eigenvector signs/medians — one eigenvector gives a bisection, two a
+quadrisection, three an octasection; recursion reaches any ``k = 2^n``.
+
+Two eigensolvers are implemented from scratch, mirroring Chaco's options
+that the paper benchmarks:
+
+* :mod:`repro.spectral.lanczos` — Lanczos tridiagonalisation with full
+  reorthogonalisation and deflation of the constant vector,
+* :mod:`repro.spectral.rqi` — Rayleigh Quotient Iteration with our own
+  MINRES inner solver (the "RQI/Symmlq" rows of Table 1).
+
+``scipy.sparse.linalg`` is used only by the test-suite oracles.
+"""
+
+from repro.spectral.lanczos import lanczos_smallest
+from repro.spectral.rqi import minres, rayleigh_quotient_iteration
+from repro.spectral.fiedler import fiedler_vector, spectral_coordinates
+from repro.spectral.bisection import (
+    split_by_median,
+    spectral_bisection,
+    spectral_multisection,
+    recursive_spectral_partition,
+)
+from repro.spectral.partitioner import SpectralPartitioner, LinearPartitioner
+
+__all__ = [
+    "lanczos_smallest",
+    "minres",
+    "rayleigh_quotient_iteration",
+    "fiedler_vector",
+    "spectral_coordinates",
+    "split_by_median",
+    "spectral_bisection",
+    "spectral_multisection",
+    "recursive_spectral_partition",
+    "SpectralPartitioner",
+    "LinearPartitioner",
+]

@@ -1,0 +1,180 @@
+"""Spectral bisection / multisection and the recursion to k parts.
+
+* :func:`split_by_median` — balanced split of a vertex set by an
+  eigenvector coordinate (median threshold, ties broken by index).
+* :func:`spectral_bisection` — one Fiedler split of the whole graph.
+* :func:`spectral_multisection` — simultaneous ``2^d``-section from ``d``
+  eigenvectors ("the first eigenvector gives a bisection, the second ...
+  a quadrisection, the third ... an octasection", paper §2.1).
+* :func:`recursive_spectral_partition` — recursion on induced subgraphs to
+  reach any ``k = 2^n``, with per-level arity 2 (bisection) or 8
+  (octasection), matching the Bi/Oct rows of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, spawn_rngs
+from repro.graph.graph import Graph
+from repro.partition.partition import Partition
+from repro.spectral.fiedler import fiedler_vector, spectral_coordinates
+
+__all__ = [
+    "split_by_median",
+    "spectral_bisection",
+    "spectral_multisection",
+    "recursive_spectral_partition",
+]
+
+
+def split_by_median(
+    values: np.ndarray, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean side array: True for the upper half of ``values``.
+
+    Without ``weights``, exactly ``ceil(n/2)`` vertices land on the False
+    (lower) side; ties at the median are broken by vertex index so the
+    split is deterministic and balanced, as Chaco does.  With ``weights``
+    (vertex weights of a coarsened graph) the threshold is the *weighted*
+    median: the split point that best balances total weight — both sides
+    are always non-empty.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 2:
+        raise ConfigurationError("cannot split fewer than 2 vertices")
+    order = np.lexsort((np.arange(n), values))
+    side = np.zeros(n, dtype=bool)
+    if weights is None:
+        side[order[(n + 1) // 2:]] = True
+        return side
+    w = np.asarray(weights, dtype=np.float64)[order]
+    cum = np.cumsum(w)
+    total = cum[-1]
+    # Split after index i: |2*cum[i] - total| minimal, i in [0, n-2] so
+    # both sides stay non-empty.
+    split = int(np.argmin(np.abs(2.0 * cum[: n - 1] - total)))
+    side[order[split + 1:]] = True
+    return side
+
+
+def spectral_bisection(
+    graph: Graph,
+    solver: str = "lanczos",
+    criterion: str = "cut",
+    seed: SeedLike = None,
+) -> Partition:
+    """Balanced spectral bisection of ``graph`` (k = 2)."""
+    vec = fiedler_vector(graph, solver=solver, criterion=criterion, seed=seed)
+    side = split_by_median(vec)
+    return Partition(graph, side.astype(np.int64))
+
+
+def spectral_multisection(
+    graph: Graph,
+    dimensions: int,
+    solver: str = "lanczos",
+    criterion: str = "cut",
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Simultaneous ``2^dimensions``-section assignment.
+
+    Vertex codes combine the median side bit of each eigenvector
+    (eigenvector ``j`` contributes bit ``j``).  Empty codes can occur —
+    callers must compact ids; :func:`recursive_spectral_partition` handles
+    that via :func:`_compact`.
+    """
+    coords = spectral_coordinates(
+        graph, dimensions, solver=solver, criterion=criterion, seed=seed
+    )
+    n = graph.num_vertices
+    codes = np.zeros(n, dtype=np.int64)
+    for j in range(dimensions):
+        side = split_by_median(coords[:, j], weights=graph.vertex_weights)
+        codes |= side.astype(np.int64) << j
+    return codes
+
+
+def _compact(codes: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary codes to compact ids 0..k-1 (order-preserving)."""
+    _, compacted = np.unique(codes, return_inverse=True)
+    return compacted.astype(np.int64)
+
+
+def recursive_spectral_partition(
+    graph: Graph,
+    k: int,
+    arity: int = 2,
+    solver: str = "lanczos",
+    criterion: str = "cut",
+    seed: SeedLike = None,
+) -> Partition:
+    """Partition ``graph`` into ``k = 2^n`` parts by recursive multisection.
+
+    Parameters
+    ----------
+    k:
+        Target part count; must be a power of two (the paper notes spectral
+        and multilevel methods "can only cut into k = 2^n partitions").
+    arity:
+        Parts produced per recursion level: 2 (bisection) or 8
+        (octasection).  When the remaining factor is smaller than the
+        arity, the final level uses the remaining power of two.
+    solver, criterion, seed:
+        Passed to the eigensolver; the seed is split per subproblem so
+        sibling recursions are independent.
+    """
+    if k < 1 or (k & (k - 1)) != 0:
+        raise ConfigurationError(f"k must be a power of two, got {k}")
+    if arity not in (2, 4, 8):
+        raise ConfigurationError(f"arity must be 2, 4 or 8, got {arity}")
+    n = graph.num_vertices
+    if k > n:
+        raise ConfigurationError(f"k={k} exceeds the vertex count {n}")
+    assignment = np.zeros(n, dtype=np.int64)
+    if k == 1:
+        return Partition(graph, assignment)
+
+    def recurse(vertices: np.ndarray, parts_needed: int, sub_seed) -> np.ndarray:
+        """Return a compact local assignment of `vertices` into parts_needed."""
+        if parts_needed == 1 or vertices.shape[0] <= 1:
+            return np.zeros(vertices.shape[0], dtype=np.int64)
+        level_arity = min(arity, parts_needed)
+        # Keep level arity a power of two and <= available vertices.
+        while level_arity > 2 and level_arity > vertices.shape[0]:
+            level_arity //= 2
+        dims = int(np.log2(level_arity))
+        sub, _ = graph.subgraph(vertices)
+        rngs = spawn_rngs(sub_seed, level_arity + 1)
+        codes = _compact(
+            spectral_multisection(
+                sub, dims, solver=solver, criterion=criterion, seed=rngs[0]
+            )
+        )
+        groups = int(codes.max()) + 1
+        if groups < level_arity:
+            # Degenerate multisection (some code combinations empty):
+            # fall back to plain bisection, which median splits guarantee
+            # to be proper whenever the subgraph has >= 2 vertices.
+            level_arity = 2
+            codes = _compact(
+                spectral_multisection(
+                    sub, 1, solver=solver, criterion=criterion, seed=rngs[0]
+                )
+            )
+            groups = int(codes.max()) + 1
+        # Distribute the remaining factor over the produced groups.
+        remaining = parts_needed // level_arity
+        local = np.zeros(vertices.shape[0], dtype=np.int64)
+        next_id = 0
+        for gid in range(groups):
+            members = np.flatnonzero(codes == gid)
+            child = recurse(vertices[members], remaining, rngs[1 + gid])
+            local[members] = child + next_id
+            next_id += int(child.max()) + 1 if members.size else 0
+        return local
+
+    assignment = recurse(np.arange(n, dtype=np.int64), k, seed)
+    return Partition(graph, _compact(assignment))

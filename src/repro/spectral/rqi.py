@@ -1,0 +1,192 @@
+"""Rayleigh Quotient Iteration with a MINRES inner solver.
+
+Chaco's second eigensolver option — "RQI/Symmlq" in the paper's Table 1 —
+refines an approximate Fiedler vector by alternating Rayleigh-quotient
+shifts with shifted linear solves.  The shifted Laplacian ``L - ρI`` is
+symmetric *indefinite*, so the inner solver must be MINRES/SYMMLQ rather
+than CG; :func:`minres` below is a from-scratch implementation of the
+Paige–Saunders recurrence (validated against ``scipy.sparse.linalg.minres``
+in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.common.exceptions import ConvergenceError
+from repro.common.rng import SeedLike, ensure_rng
+
+__all__ = ["minres", "rayleigh_quotient_iteration"]
+
+
+def minres(
+    operator: Callable[[np.ndarray], np.ndarray] | sp.spmatrix,
+    rhs: np.ndarray,
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``A x = b`` for symmetric (possibly indefinite) ``A``.
+
+    Implements the MINRES method (Paige & Saunders 1975): a Lanczos process
+    on ``A`` combined with Givens rotations that minimise the residual over
+    the Krylov space.  Returns the best iterate found; does not raise on
+    slow convergence (RQI only needs an approximate solve direction).
+
+    Parameters
+    ----------
+    operator:
+        Either a scipy sparse matrix or a callable ``v -> A @ v``.
+    rhs:
+        Right-hand side ``b``.
+    max_iterations, tolerance:
+        Stopping controls (relative residual).
+    x0:
+        Optional initial guess (default zero).
+    """
+    if not callable(operator):
+        matrix = operator
+        apply_op = lambda v: matrix @ v  # noqa: E731
+    else:
+        apply_op = operator
+    b = np.asarray(rhs, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - apply_op(x) if x.any() else b.copy()
+    beta = np.linalg.norm(r)
+    if beta <= tolerance:
+        return x
+    b_norm = np.linalg.norm(b)
+    if b_norm == 0.0:
+        return np.zeros(n)
+
+    # Lanczos vectors.
+    v_prev = np.zeros(n)
+    v = r / beta
+    beta_prev = 0.0
+    # Givens rotation state.
+    c_prev, s_prev = 1.0, 0.0
+    c_pp, s_pp = 1.0, 0.0
+    # Direction vectors for the solution update.
+    w_prev = np.zeros(n)
+    w_pp = np.zeros(n)
+    eta = beta  # residual norm estimate carried through rotations
+
+    for _ in range(max_iterations):
+        # Lanczos step.
+        p = apply_op(v)
+        alpha = float(v @ p)
+        p = p - alpha * v - beta_prev * v_prev
+        beta_next = float(np.linalg.norm(p))
+
+        # Apply the two previous rotations to the new tridiagonal column.
+        delta = c_prev * alpha - c_pp * s_prev * beta_prev
+        gamma_bar = s_prev * alpha + c_pp * c_prev * beta_prev
+        epsilon = s_pp * beta_prev
+
+        # New rotation annihilating beta_next.
+        gamma = float(np.hypot(delta, beta_next))
+        if gamma == 0.0:
+            gamma = 1e-300  # breakdown guard; residual is already ~0
+        c = delta / gamma
+        s = beta_next / gamma
+
+        w = (v - gamma_bar * w_prev - epsilon * w_pp) / gamma
+        x = x + c * eta * w
+
+        eta = -s * eta
+        if abs(eta) <= tolerance * b_norm:
+            break
+        if beta_next <= 1e-14:
+            break
+        # Shift state.
+        v_prev, v = v, p / beta_next
+        beta_prev = beta_next
+        c_pp, s_pp = c_prev, s_prev
+        c_prev, s_prev = c, s
+        w_pp, w_prev = w_prev, w
+    return x
+
+
+def rayleigh_quotient_iteration(
+    matrix: sp.spmatrix,
+    x0: np.ndarray | None = None,
+    deflate: np.ndarray | None = None,
+    max_iterations: int = 40,
+    inner_iterations: int = 150,
+    tolerance: float = 1e-8,
+    seed: SeedLike = None,
+) -> tuple[float, np.ndarray]:
+    """Find an eigenpair of symmetric ``matrix`` near the start vector.
+
+    Each step solves ``(A - ρI) y = x`` with :func:`minres` where ``ρ`` is
+    the current Rayleigh quotient, then renormalises.  Convergence is
+    locally cubic; started from a rough Fiedler estimate it reaches 1e-8
+    residuals in a handful of iterations.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric sparse matrix.
+    x0:
+        Start vector; random (deflated) if omitted.
+    deflate:
+        ``(n, d)`` orthonormal basis to project out (constant vector for
+        Laplacians), keeping RQI away from the trivial pair.
+    max_iterations:
+        Outer RQI steps.
+    inner_iterations:
+        MINRES budget per outer step.
+    tolerance:
+        Final residual requirement ``||Ax - ρx|| <= tol * max(1, |ρ|)``.
+
+    Returns
+    -------
+    (eigenvalue, eigenvector)
+
+    Raises
+    ------
+    ConvergenceError
+        If the residual tolerance is not met within ``max_iterations``.
+    """
+    n = matrix.shape[0]
+    rng = ensure_rng(seed)
+
+    def project(v: np.ndarray) -> np.ndarray:
+        if deflate is None or deflate.size == 0:
+            return v
+        return v - deflate @ (deflate.T @ v)
+
+    x = rng.standard_normal(n) if x0 is None else np.asarray(x0, np.float64).copy()
+    x = project(x)
+    norm = np.linalg.norm(x)
+    if norm <= 0:
+        raise ConvergenceError("RQI start vector vanished under deflation")
+    x /= norm
+
+    rho = float(x @ (matrix @ x))
+    for _ in range(max_iterations):
+        residual = np.linalg.norm(matrix @ x - rho * x)
+        if residual <= tolerance * max(1.0, abs(rho)):
+            return rho, x
+        shifted = lambda v, r=rho: matrix @ v - r * v  # noqa: E731
+        y = minres(shifted, x, max_iterations=inner_iterations, tolerance=1e-12)
+        y = project(y)
+        norm = np.linalg.norm(y)
+        if norm <= 1e-14:
+            # (A - rho I) is near-singular along x: x is already converged
+            # to machine precision, or MINRES broke down; perturb.
+            y = project(x + 1e-8 * rng.standard_normal(n))
+            norm = np.linalg.norm(y)
+        x = y / norm
+        rho = float(x @ (matrix @ x))
+    residual = np.linalg.norm(matrix @ x - rho * x)
+    if residual <= tolerance * max(1.0, abs(rho)):
+        return rho, x
+    raise ConvergenceError(
+        f"RQI failed to converge: residual {residual:.2e} after "
+        f"{max_iterations} iterations"
+    )

@@ -1,0 +1,212 @@
+"""Dependency-free SVG rendering of partitioned graphs and quality traces.
+
+The repository has no plotting dependency; this module hand-writes SVG so
+the examples can produce *visual* artefacts (the ATC block map, the
+Figure-1 curves) that open in any browser.
+
+* :func:`render_partition_svg` — vertices at given 2-D positions coloured
+  by part, edges drawn under them (cut edges highlighted).
+* :func:`render_traces_svg` — log-x quality-vs-time polylines with
+  horizontal reference lines (the Figure-1 layout).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["part_color", "render_partition_svg", "render_traces_svg"]
+
+
+def part_color(part: int) -> str:
+    """A stable, well-spread hex colour for a part id (golden-angle hue)."""
+    hue = (part * 137.50776405) % 360.0
+    # HSL -> RGB with fixed saturation/lightness.
+    c = 0.55
+    x = c * (1 - abs((hue / 60.0) % 2 - 1))
+    m = 0.80 - c / 2
+    sector = int(hue // 60) % 6
+    rgb = [
+        (c, x, 0.0), (x, c, 0.0), (0.0, c, x),
+        (0.0, x, c), (x, 0.0, c), (c, 0.0, x),
+    ][sector]
+    r, g, b = (int(round((v + m) * 255)) for v in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _scale_points(points: np.ndarray, width: float, height: float,
+                  margin: float) -> np.ndarray:
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    unit = (points - lo) / span
+    out = np.empty_like(unit)
+    out[:, 0] = margin + unit[:, 0] * (width - 2 * margin)
+    out[:, 1] = height - margin - unit[:, 1] * (height - 2 * margin)
+    return out
+
+
+def render_partition_svg(
+    graph: Graph,
+    positions: np.ndarray,
+    assignment: np.ndarray,
+    path: str | Path | None = None,
+    width: int = 900,
+    height: int = 700,
+    vertex_radius: float = 3.0,
+    max_edges: int = 20000,
+) -> str:
+    """Render a partitioned graph as an SVG string (optionally to a file).
+
+    Cut edges are drawn light grey, internal edges in (a faded shade of)
+    their part colour; vertices sit on top coloured by part.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    n = graph.num_vertices
+    if positions.shape != (n, 2):
+        raise ValueError(f"positions must be ({n}, 2)")
+    if assignment.shape != (n,):
+        raise ValueError(f"assignment must be ({n},)")
+    pts = _scale_points(positions, width, height, margin=20.0)
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    u, v, _w = graph.edge_arrays()
+    if u.shape[0] > max_edges:
+        keep = np.linspace(0, u.shape[0] - 1, max_edges).astype(np.int64)
+        u, v = u[keep], v[keep]
+    for a, b in zip(u, v):
+        x1, y1 = pts[a]
+        x2, y2 = pts[b]
+        if assignment[a] == assignment[b]:
+            color = part_color(int(assignment[a]))
+            opacity = 0.25
+        else:
+            color = "#999999"
+            opacity = 0.35
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-opacity="{opacity}" stroke-width="0.7"/>'
+        )
+    for i in range(n):
+        x, y = pts[i]
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{vertex_radius}" '
+            f'fill="{part_color(int(assignment[i]))}"/>'
+        )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def render_traces_svg(
+    traces: dict[str, tuple[list[float], list[float]]],
+    references: dict[str, float] | None = None,
+    path: str | Path | None = None,
+    width: int = 760,
+    height: int = 480,
+    title: str = "quality vs time",
+) -> str:
+    """Render quality-vs-time polylines (log-x) as an SVG string.
+
+    Parameters
+    ----------
+    traces:
+        ``{label: (times, values)}`` — times in seconds (> 0).
+    references:
+        Optional ``{label: value}`` horizontal dashed lines (the best
+        spectral/multilevel levels of Figure 1).
+    """
+    margin = 55.0
+    all_t = [t for ts, _ in traces.values() for t in ts if t > 0]
+    all_v = list(
+        v for _, vs in traces.values() for v in vs if math.isfinite(v)
+    )
+    if references:
+        all_v.extend(references.values())
+    if not all_t or not all_v:
+        raise ValueError("traces must contain at least one finite sample")
+    t_lo, t_hi = min(all_t), max(max(all_t), min(all_t) * 1.01)
+    v_lo, v_hi = min(all_v), max(max(all_v), min(all_v) + 1e-9)
+    pad = 0.08 * (v_hi - v_lo)
+    v_lo, v_hi = v_lo - pad, v_hi + pad
+
+    def sx(t: float) -> float:
+        frac = (math.log10(t) - math.log10(t_lo)) / (
+            math.log10(t_hi) - math.log10(t_lo)
+        )
+        return margin + frac * (width - 2 * margin)
+
+    def sy(v: float) -> float:
+        frac = (v - v_lo) / (v_hi - v_lo)
+        return height - margin - frac * (height - 2 * margin)
+
+    out: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{title}</text>',
+        # axes
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+    ]
+    # Log-decade x ticks.
+    decade = math.floor(math.log10(t_lo))
+    while 10**decade <= t_hi:
+        t = 10.0**decade
+        if t >= t_lo:
+            out.append(
+                f'<line x1="{sx(t):.1f}" y1="{height - margin}" '
+                f'x2="{sx(t):.1f}" y2="{height - margin + 5}" stroke="black"/>'
+                f'<text x="{sx(t):.1f}" y="{height - margin + 18}" '
+                f'text-anchor="middle" font-family="sans-serif" '
+                f'font-size="11">{t:g}s</text>'
+            )
+        decade += 1
+    if references:
+        for idx, (label, value) in enumerate(sorted(references.items())):
+            y = sy(value)
+            out.append(
+                f'<line x1="{margin}" y1="{y:.1f}" x2="{width - margin}" '
+                f'y2="{y:.1f}" stroke="#555" stroke-dasharray="6,4"/>'
+                f'<text x="{width - margin - 4}" y="{y - 4:.1f}" '
+                f'text-anchor="end" font-family="sans-serif" '
+                f'font-size="11" fill="#555">{label} ({value:.2f})</text>'
+            )
+    for idx, (label, (times, values)) in enumerate(sorted(traces.items())):
+        color = part_color(idx * 7 + 1)
+        pairs = [
+            (sx(max(t, t_lo)), sy(v))
+            for t, v in zip(times, values)
+            if math.isfinite(v)
+        ]
+        if not pairs:
+            continue
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in pairs)
+        out.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        lx, ly = pairs[-1]
+        out.append(
+            f'<text x="{min(lx + 5, width - margin):.1f}" y="{ly:.1f}" '
+            f'font-family="sans-serif" font-size="11" '
+            f'fill="{color}">{label}</text>'
+        )
+    out.append("</svg>")
+    svg = "\n".join(out)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    barbell_graph,
+    grid_graph,
+    weighted_caveman_graph,
+)
+from repro.partition import Partition
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 with distinct weights (1, 2, 3)."""
+    return Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+
+
+@pytest.fixture
+def grid() -> Graph:
+    """An 8x8 unit grid."""
+    return grid_graph(8, 8)
+
+
+@pytest.fixture
+def barbell() -> Graph:
+    """Two K5 cliques joined by a single edge."""
+    return barbell_graph(5)
+
+
+@pytest.fixture
+def caveman() -> Graph:
+    """Four caves of six vertices; planted 4-part optimum."""
+    return weighted_caveman_graph(4, 6)
+
+
+@pytest.fixture
+def grid_partition(grid) -> Partition:
+    """The 8x8 grid split into 4 row bands."""
+    return Partition(grid, np.repeat([0, 1, 2, 3], 16))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)

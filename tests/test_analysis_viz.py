@@ -1,0 +1,122 @@
+"""Tests for graph/partition analysis metrics and the SVG renderer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, grid_graph, weighted_caveman_graph
+from repro.graph.analysis import (
+    conductance,
+    degree_statistics,
+    modularity,
+    weight_gini,
+)
+from repro.partition import Partition
+from repro.viz import part_color, render_partition_svg, render_traces_svg
+
+
+class TestDegreeStatistics:
+    def test_grid(self):
+        stats = degree_statistics(grid_graph(3, 3))
+        assert stats.min == 2.0   # corners
+        assert stats.max == 4.0   # centre
+        assert stats.unweighted_mean == pytest.approx(2 * 12 / 9)
+
+    def test_empty(self):
+        stats = degree_statistics(Graph.empty(3))
+        assert stats.max == 0.0
+
+
+class TestModularity:
+    def test_planted_communities_high(self):
+        g = weighted_caveman_graph(4, 8)
+        planted = np.repeat(np.arange(4), 8)
+        assert modularity(g, planted) > 0.6
+
+    def test_random_labels_near_zero(self):
+        g = weighted_caveman_graph(4, 8)
+        rng = np.random.default_rng(0)
+        q = modularity(g, rng.integers(0, 4, 32))
+        assert abs(q) < 0.25
+
+    def test_single_community_zero(self):
+        g = grid_graph(4, 4)
+        assert modularity(g, np.zeros(16, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            modularity(grid_graph(2, 2), np.zeros(3, dtype=np.int64))
+
+
+class TestConductance:
+    def test_planted_low(self):
+        g = weighted_caveman_graph(4, 8)
+        p = Partition(g, np.repeat(np.arange(4), 8))
+        assert conductance(p).max() < 0.05
+
+    def test_bad_partition_high(self):
+        g = weighted_caveman_graph(4, 8)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 32)
+        a[:4] = np.arange(4)
+        p = Partition(g, a)
+        assert conductance(p).mean() > 0.3
+
+    def test_bounded(self):
+        g = grid_graph(5, 5)
+        p = Partition(g, np.arange(25) % 5)
+        c = conductance(p)
+        assert ((0.0 <= c) & (c <= 1.0)).all()
+
+
+class TestGini:
+    def test_uniform_weights_zero(self):
+        assert weight_gini(grid_graph(4, 4)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_weights_high(self):
+        edges = [(0, i, 1.0) for i in range(1, 9)] + [(1, 9, 1000.0)]
+        g = Graph.from_edges(10, edges)
+        assert weight_gini(g) > 0.7
+
+    def test_atc_instance_heavy_tailed(self):
+        from repro.atc import core_area_graph
+
+        assert weight_gini(core_area_graph(seed=2006)) > 0.5
+
+
+class TestSvg:
+    def test_part_colors_distinct(self):
+        colors = {part_color(i) for i in range(32)}
+        assert len(colors) == 32
+
+    def test_partition_svg_structure(self, tmp_path):
+        g = grid_graph(4, 4)
+        pos = np.array([[i % 4, i // 4] for i in range(16)], dtype=float)
+        a = np.arange(16) % 2
+        out = tmp_path / "p.svg"
+        svg = render_partition_svg(g, pos, a, path=out)
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 16
+        assert out.read_text() == svg
+
+    def test_partition_svg_validates_shapes(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            render_partition_svg(g, np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_traces_svg(self, tmp_path):
+        svg = render_traces_svg(
+            {
+                "sa": ([1.0, 5.0, 20.0], [50.0, 30.0, 20.0]),
+                "ff": ([2.0, 10.0], [80.0, 15.0]),
+            },
+            references={"multilevel": 25.0},
+            path=tmp_path / "t.svg",
+            title="mcut vs time",
+        )
+        assert "polyline" in svg
+        assert "multilevel" in svg
+        assert "mcut vs time" in svg
+
+    def test_traces_svg_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_traces_svg({"x": ([], [])})

@@ -1,0 +1,128 @@
+"""Unit tests for simulated annealing and cooling schedules."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    GeometricCooling,
+    LinearCooling,
+    SimulatedAnnealingPartitioner,
+    anneal,
+)
+from repro.common.exceptions import ConfigurationError
+from repro.graph import grid_graph, weighted_caveman_graph
+from repro.partition import McutObjective, Partition
+
+
+class TestSchedules:
+    def test_geometric_ratio_from_range(self):
+        c = GeometricCooling(tmax=10.0, tmin=2.0)
+        assert c.ratio == pytest.approx(0.8)
+        assert c.next(10.0) == pytest.approx(8.0)
+
+    def test_geometric_clamps_degenerate_tmin_zero(self):
+        c = GeometricCooling(tmax=1.0, tmin=0.0)
+        # The paper's formula gives ratio 1.0 at tmin=0; clamped.
+        assert c.ratio == pytest.approx(0.95)
+
+    def test_geometric_freezes(self):
+        c = GeometricCooling(tmax=1.0, tmin=0.1)
+        t = c.initial()
+        for _ in range(200):
+            t = c.next(t)
+        assert c.frozen(t)
+
+    def test_linear_steps(self):
+        c = LinearCooling(tmax=1.0, tmin=0.0, steps=10)
+        assert c.next(1.0) == pytest.approx(0.9)
+        t = c.initial()
+        for _ in range(10):
+            t = c.next(t)
+        assert c.frozen(t)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(Exception):
+            GeometricCooling(tmax=1.0, tmin=2.0)
+        with pytest.raises(Exception):
+            LinearCooling(tmax=1.0, tmin=0.0, steps=0)
+
+
+class TestAnneal:
+    def test_improves_caveman(self, rng):
+        g = weighted_caveman_graph(4, 6)
+        start = Partition(g, rng.integers(0, 4, 24))
+        obj = McutObjective()
+        before = obj.value(start)
+        best, energy = anneal(
+            start, objective=obj, tmax=2.0, max_steps=8000, seed=0
+        )
+        assert energy <= before
+        assert energy == pytest.approx(obj.value(best))
+        best.check()
+
+    def test_finds_caveman_optimum(self, rng):
+        g = weighted_caveman_graph(4, 6)
+        start = Partition(g, rng.integers(0, 4, 24))
+        best, _ = anneal(start, tmax=2.0, max_steps=30000, seed=1)
+        assert best.edge_cut() == pytest.approx(4.0)
+
+    def test_preserves_k(self, rng):
+        g = grid_graph(6, 6)
+        start = Partition(g, rng.integers(0, 5, 36))
+        best, _ = anneal(start, max_steps=3000, seed=0)
+        assert best.num_parts == 5
+
+    def test_max_steps_respected(self, rng):
+        g = grid_graph(6, 6)
+        start = Partition(g, rng.integers(0, 3, 36))
+        # Must terminate promptly even with huge temperature range.
+        anneal(start, tmax=100.0, max_steps=100, seed=0)
+
+    def test_time_budget_reheats(self, rng):
+        g = grid_graph(6, 6)
+        start = Partition(g, rng.integers(0, 3, 36))
+        import time
+
+        t0 = time.perf_counter()
+        anneal(start, tmax=0.5, time_budget=0.5, equilibrium_refusals=2,
+               seed=0)
+        elapsed = time.perf_counter() - t0
+        # With reheating the budget is used (not frozen after ~ms).
+        assert 0.3 <= elapsed <= 5.0
+
+    def test_callback_fires_decreasing(self, rng):
+        g = weighted_caveman_graph(3, 6)
+        start = Partition(g, rng.integers(0, 3, 18))
+        seen = []
+        anneal(start, max_steps=5000, seed=2,
+               on_improvement=lambda e, p: seen.append(e))
+        assert seen == sorted(seen, reverse=True)
+        assert len(seen) >= 1
+
+    def test_invalid_temperatures(self, grid_partition):
+        with pytest.raises(ConfigurationError):
+            anneal(grid_partition, tmax=0.0)
+        with pytest.raises(ConfigurationError):
+            anneal(grid_partition, tmax=1.0, tmin=1.0)
+
+
+class TestPartitionerInterface:
+    def test_returns_k_parts(self):
+        g = weighted_caveman_graph(4, 6)
+        sa = SimulatedAnnealingPartitioner(k=4, max_steps=4000)
+        p = sa.partition(g, seed=0)
+        assert p.num_parts == 4
+        p.check()
+
+    def test_deterministic_given_seed(self):
+        g = weighted_caveman_graph(3, 5)
+        sa = SimulatedAnnealingPartitioner(k=3, max_steps=2000)
+        p1 = sa.partition(g, seed=7)
+        p2 = sa.partition(g, seed=7)
+        assert np.array_equal(p1.assignment, p2.assignment)
+
+    def test_any_k_allowed(self):
+        # Metaheuristics handle non-power-of-two k (paper §6).
+        g = grid_graph(6, 6)
+        p = SimulatedAnnealingPartitioner(k=5, max_steps=1500).partition(g, seed=0)
+        assert p.num_parts == 5

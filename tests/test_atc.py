@@ -1,0 +1,162 @@
+"""Unit tests for the ATC application layer."""
+
+import numpy as np
+import pytest
+
+from repro.atc import (
+    COUNTRIES,
+    Sector,
+    SectorNetwork,
+    block_report,
+    build_blocks,
+    core_area_graph,
+    core_area_network,
+    gravity_flows,
+    traffic_intensities,
+)
+from repro.atc.europe import NUM_FLOW_EDGES, NUM_SECTORS
+from repro.common.exceptions import ConfigurationError
+from repro.graph import is_connected
+
+
+class TestTraffic:
+    def test_intensities_positive(self):
+        t = traffic_intensities(100, seed=0)
+        assert t.shape == (100,)
+        assert (t > 0).all()
+
+    def test_hub_boost(self):
+        t_plain = traffic_intensities(50, seed=1)
+        t_hub = traffic_intensities(50, hubs=np.array([3]), hub_boost=10.0, seed=1)
+        assert t_hub[3] == pytest.approx(10.0 * t_plain[3])
+        assert t_hub[4] == pytest.approx(t_plain[4])
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            traffic_intensities(0)
+
+    def test_gravity_intra_country_multiplier(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        traffic = np.ones(3)
+        country = np.array(["A", "A", "B"])
+        u = np.array([0, 1])
+        v = np.array([1, 2])
+        flows = gravity_flows(u, v, pos, traffic, country,
+                              intra_country_multiplier=4.0,
+                              noise_sigma=0.0, min_flow=0.0)
+        # Same distance and traffic; intra-country edge 4x heavier.
+        assert flows[0] == pytest.approx(4.0 * flows[1])
+
+    def test_gravity_distance_decay(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 4.0]])
+        traffic = np.ones(3)
+        country = np.array(["A", "A", "A"])
+        flows = gravity_flows(
+            np.array([0, 0]), np.array([1, 2]), pos, traffic, country,
+            noise_sigma=0.0, min_flow=0.0,
+        )
+        assert flows[0] > flows[1]
+
+    def test_total_flow_scaling(self):
+        pos = np.random.default_rng(0).random((10, 2))
+        traffic = np.ones(10)
+        country = np.array(["A"] * 10)
+        u, v = np.triu_indices(10, k=1)
+        flows = gravity_flows(u, v, pos, traffic, country,
+                              total_flow=5000.0, seed=0)
+        # Rounding + floor means approximate.
+        assert flows.sum() == pytest.approx(5000.0, rel=0.1)
+
+
+class TestSectorNetwork:
+    def test_requires_aligned_sectors(self):
+        from repro.graph import path_graph
+
+        g = path_graph(3)
+        sectors = [Sector(0, "FR", 0.0, 0.0, 1.0)]
+        with pytest.raises(ConfigurationError):
+            SectorNetwork(graph=g, sectors=sectors)
+
+    def test_requires_ordered_ids(self):
+        from repro.graph import path_graph
+
+        g = path_graph(2)
+        sectors = [Sector(1, "FR", 0, 0, 1.0), Sector(0, "FR", 0, 0, 1.0)]
+        with pytest.raises(ConfigurationError):
+            SectorNetwork(graph=g, sectors=sectors)
+
+
+class TestCoreArea:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return core_area_network(seed=2006)
+
+    def test_published_instance_size(self, network):
+        assert network.num_sectors == NUM_SECTORS == 762
+        assert network.graph.num_edges == NUM_FLOW_EDGES == 3165
+
+    def test_connected(self, network):
+        assert is_connected(network.graph)
+
+    def test_eleven_countries(self, network):
+        assert len(network.countries) == 11
+        assert set(network.countries) == {c[0] for c in COUNTRIES}
+
+    def test_country_sizes_match_spec(self, network):
+        for code, count, *_ in COUNTRIES:
+            members = [s for s in network.sectors if s.country == code]
+            assert len(members) == count
+
+    def test_deterministic(self):
+        g1 = core_area_graph(seed=7)
+        g2 = core_area_graph(seed=7)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        assert core_area_graph(seed=1) != core_area_graph(seed=2)
+
+    def test_heavy_tailed_weights(self, network):
+        w = network.graph.weights
+        assert w.max() / np.median(w) > 50  # strong skew
+
+    def test_intra_country_flows_dominate(self, network):
+        labels = network.country_assignment()
+        u, v, w = network.graph.edge_arrays()
+        intra = w[labels[u] == labels[v]].sum()
+        inter = w[labels[u] != labels[v]].sum()
+        assert intra > 2.0 * inter
+
+    def test_positions_shape(self, network):
+        assert network.positions().shape == (762, 2)
+
+
+class TestFabop:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return core_area_network(seed=2006)
+
+    def test_build_blocks_multilevel(self, network):
+        design = build_blocks(network, k=8, method="multilevel", seed=0)
+        assert design.num_blocks == 8
+        assert design.intra_block_flow() + design.inter_block_flow() == (
+            pytest.approx(network.total_flow())
+        )
+        assert 0.0 < design.containment() <= 1.0
+
+    def test_block_report_keys(self, network):
+        design = build_blocks(network, k=8, method="percolation", seed=0)
+        report = block_report(design)
+        for key in ("mcut", "ncut", "cut", "containment",
+                    "blocks_crossing_borders", "connected_blocks"):
+            assert key in report
+
+    def test_block_members_partition_sectors(self, network):
+        design = build_blocks(network, k=4, method="linear", seed=0)
+        all_members = np.concatenate(
+            [design.block_members(b) for b in range(4)]
+        )
+        assert sorted(all_members.tolist()) == list(range(762))
+
+    def test_unknown_method(self, network):
+        with pytest.raises(ConfigurationError):
+            build_blocks(network, k=4, method="astrology")

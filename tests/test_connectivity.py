@@ -1,0 +1,84 @@
+"""Unit tests for BFS / connectivity utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_order,
+    component_of,
+    connected_components,
+    grid_graph,
+    is_connected,
+    path_graph,
+)
+from repro.graph.connectivity import components_within
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Edges 0-1-2 and 3-4; vertex 5 isolated."""
+    return Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestBfs:
+    def test_orders_start_first(self, two_components):
+        order = bfs_order(two_components, 1)
+        assert order[0] == 1
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_isolated_vertex(self, two_components):
+        assert bfs_order(two_components, 5).tolist() == [5]
+
+    def test_mask_restriction(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        order = bfs_order(g, 0, mask=mask)
+        assert sorted(order.tolist()) == [0, 1]
+
+    def test_source_must_satisfy_mask(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            bfs_order(g, 0, mask=np.array([False, True, True]))
+
+    def test_source_out_of_range(self, two_components):
+        with pytest.raises(IndexError):
+            bfs_order(two_components, 17)
+
+    def test_bfs_levels_on_grid(self):
+        g = grid_graph(3, 3)
+        order = bfs_order(g, 0)
+        # Vertex 8 (opposite corner, distance 4) must come last.
+        assert order[-1] == 8
+
+
+class TestComponents:
+    def test_labels(self, two_components):
+        labels = connected_components(two_components)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert len(set(labels.tolist())) == 3
+
+    def test_masked_labels(self, two_components):
+        mask = np.array([True, False, True, True, True, True])
+        labels = connected_components(two_components, mask=mask)
+        assert labels[1] == -1
+        assert labels[0] != labels[2]  # cut vertex removed splits 0-1-2
+
+    def test_component_of(self, two_components):
+        assert component_of(two_components, 4).tolist() == [3, 4]
+
+    def test_is_connected(self, two_components):
+        assert not is_connected(two_components)
+        assert is_connected(path_graph(10))
+        assert is_connected(Graph.empty(1))
+        assert not is_connected(Graph.empty(2))
+
+    def test_is_connected_empty_mask(self, two_components):
+        assert is_connected(two_components, mask=np.zeros(6, dtype=bool))
+
+    def test_components_within(self, two_components):
+        comps = components_within(two_components, np.array([0, 2, 3, 4]))
+        sets = sorted(tuple(c.tolist()) for c in comps)
+        assert sets == [(0,), (2,), (3, 4)]

@@ -1,0 +1,86 @@
+"""Additional edge-case tests: ScaledEnergy across part counts, the
+temperature schedule at its boundaries, and the FF result coercion."""
+
+import numpy as np
+import pytest
+
+from repro.fusionfission import BindingEnergyScale, ScaledEnergy
+from repro.fusionfission.core import _coerce_to_k
+from repro.fusionfission.temperature import TemperatureSchedule, alpha_sharpness
+from repro.graph import grid_graph, weighted_caveman_graph
+from repro.partition import Partition
+
+
+class TestScaledEnergyAcrossK:
+    def test_off_target_inflation(self):
+        """The same per-atom quality costs more energy away from the
+        target part count — the §4.1 guidance property."""
+        g = weighted_caveman_graph(6, 6)
+        e = ScaledEnergy(36, 6, objective="cut")
+        # Planted 6-partition and the 3-partition of merged cave pairs:
+        p6 = Partition(g, np.repeat([0, 1, 2, 3, 4, 5], 6))
+        p3 = Partition(g, np.repeat([0, 0, 1, 1, 2, 2], 6))
+        # Per-atom raw quality is *better* at k=3 (fewer weak links cut),
+        # but the binding factor must claw most of that back.
+        ratio_raw = (e.raw(p3) / 3) / (e.raw(p6) / 6)
+        ratio_scaled = e.value(p3) / e.value(p6)
+        assert ratio_scaled > ratio_raw
+
+    def test_binding_peak_normalised(self):
+        s = BindingEnergyScale(762, 32)
+        ks = np.arange(16, 65)
+        values = [s.binding_for_parts(int(k)) for k in ks]
+        assert max(values) == pytest.approx(s.binding_for_parts(32))
+
+    def test_scaled_energy_raw_passthrough(self):
+        g = grid_graph(4, 4)
+        e = ScaledEnergy(16, 4, objective="mcut")
+        p = Partition(g, np.repeat([0, 1, 2, 3], 4))
+        from repro.partition import McutObjective
+
+        assert e.raw(p) == pytest.approx(McutObjective().value(p))
+
+
+class TestScheduleBoundaries:
+    def test_alpha_clamps_outside_range(self):
+        a_hot = alpha_sharpness(2.0, 1.0, 0.0, slope=1.0, offset=0.1)
+        a_cold = alpha_sharpness(-1.0, 1.0, 0.0, slope=1.0, offset=0.1)
+        assert a_hot == pytest.approx(0.1)    # hotter than tmax -> offset
+        assert a_cold == pytest.approx(1.1)   # colder than tmin -> slope+offset
+
+    def test_normalized_clamped(self):
+        s = TemperatureSchedule(tmax=1.0, tmin=0.0, nbt=10)
+        assert s.normalized(2.0) == 1.0
+        assert s.normalized(-1.0) == 0.0
+
+    def test_fission_probability_monotone_in_size(self):
+        s = TemperatureSchedule(tmax=1.0, tmin=0.0, nbt=10)
+        probs = [
+            s.fission_probability(size, ideal_size=10.0, t=0.5)
+            for size in range(1, 30)
+        ]
+        assert probs == sorted(probs)
+
+
+class TestCoercion:
+    def test_coerce_down_to_k(self):
+        g = grid_graph(6, 6)
+        p = Partition(g, np.arange(36) % 9)
+        rng = np.random.default_rng(0)
+        out = _coerce_to_k(p, 4, rng)
+        assert out.num_parts == 4
+        out.check()
+
+    def test_coerce_up_to_k(self):
+        g = grid_graph(6, 6)
+        p = Partition(g, np.arange(36) % 2)
+        rng = np.random.default_rng(0)
+        out = _coerce_to_k(p, 5, rng)
+        assert out.num_parts == 5
+        out.check()
+
+    def test_coerce_identity(self):
+        g = grid_graph(4, 4)
+        p = Partition(g, np.arange(16) % 4)
+        rng = np.random.default_rng(0)
+        assert _coerce_to_k(p, 4, rng).num_parts == 4

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples are part of the public deliverable; these tests run them in
+subprocesses (with small budgets where supported) so a regression in the
+public API surfaces immediately.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "fusion-fission" in proc.stdout
+
+    def test_atc_fabop(self):
+        proc = run_example("atc_fabop.py", "--k", "8", "--budget", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "functional airspace blocks" in proc.stdout
+        assert "flow kept inside blocks" in proc.stdout
+
+    def test_mesh_load_balance(self):
+        proc = run_example("mesh_load_balance.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "multilevel" in proc.stdout
+
+    def test_image_segmentation(self):
+        proc = run_example("image_segmentation_style.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "accuracy" in proc.stdout
+
+    def test_atc_map(self, tmp_path):
+        out = tmp_path / "blocks.svg"
+        proc = run_example(
+            "atc_fabop_map.py", "--k", "8", "--method", "multilevel",
+            "-o", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        svg = out.read_text()
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 762

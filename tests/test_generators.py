@@ -1,0 +1,124 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import GraphError
+from repro.graph import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+    torus_graph,
+    weighted_caveman_graph,
+)
+
+
+class TestStructured:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4.0 for v in range(5))
+
+    def test_complete_graph_weighted(self):
+        g = complete_graph(4, weight=2.5)
+        assert g.total_edge_weight == pytest.approx(15.0)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert is_connected(g)
+        assert all(g.degree(v) == 2.0 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1.0
+        assert g.degree(2) == 2.0
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.num_vertices == 7
+        assert g.degree(0) == 6.0
+
+    def test_grid_structure(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(3, 4)  # row wrap must not exist
+
+    def test_torus_regular(self):
+        g = torus_graph(4, 5)
+        assert all(g.degree(v) == 4.0 for v in range(20))
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+    def test_barbell_min_cut_is_bridge(self):
+        g = barbell_graph(6)
+        assert g.num_vertices == 12
+        assert g.edge_weight(5, 6) == 1.0
+        assert is_connected(g)
+
+    def test_barbell_with_longer_bridge(self):
+        g = barbell_graph(4, bridge=3)
+        assert g.num_vertices == 2 * 4 + 2
+        assert is_connected(g)
+
+    def test_caveman_counts(self):
+        g = weighted_caveman_graph(4, 5)
+        assert g.num_vertices == 20
+        # 4 * C(5,2) intra edges + 4 inter edges (ring closure for > 2 caves)
+        assert g.num_edges == 4 * 10 + 4
+
+    def test_caveman_weights(self):
+        g = weighted_caveman_graph(3, 4, intra_weight=9.0, inter_weight=0.5)
+        assert g.edge_weight(0, 1) == 9.0
+
+
+class TestRandomGeometric:
+    def test_deterministic_given_seed(self):
+        g1, p1 = random_geometric_graph(50, 0.2, seed=3)
+        g2, p2 = random_geometric_graph(50, 0.2, seed=3)
+        assert g1 == g2
+        assert np.allclose(p1, p2)
+
+    def test_connectivity_repair(self):
+        # A tiny radius yields many components; connect=True must bridge.
+        g, _ = random_geometric_graph(60, 0.05, seed=5, connect=True)
+        assert is_connected(g)
+
+    def test_no_repair_when_disabled(self):
+        g, _ = random_geometric_graph(60, 0.05, seed=5, connect=False)
+        # With such a small radius, disconnection is essentially certain.
+        assert not is_connected(g)
+
+    def test_weights_decay_with_distance(self):
+        g, pts = random_geometric_graph(40, 0.5, seed=1)
+        u, v, w = g.edge_arrays()
+        dist = np.linalg.norm(pts[u] - pts[v], axis=1)
+        # Perfect anti-correlation up to the repair edges.
+        assert np.corrcoef(dist, w)[0, 1] < -0.9
+
+    def test_explicit_points(self):
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0]])
+        g, _ = random_geometric_graph(3, 0.1, points=pts, connect=False)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_bad_arguments(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(0, 0.1)
+        with pytest.raises(GraphError):
+            random_geometric_graph(5, 0.0)

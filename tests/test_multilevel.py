@@ -1,0 +1,176 @@
+"""Unit tests for matching, coarsening and the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, GraphError
+from repro.graph import Graph, contract_graph, grid_graph, weighted_caveman_graph
+from repro.multilevel import (
+    MultilevelPartitioner,
+    build_hierarchy,
+    coarsen_once,
+    greedy_growing_partition,
+    heavy_edge_matching,
+    initial_partition,
+    random_matching,
+)
+from repro.multilevel.matching import matching_to_coarse_map
+from repro.partition import imbalance
+
+
+def assert_valid_matching(graph, mate):
+    for v in range(graph.num_vertices):
+        partner = int(mate[v])
+        assert mate[partner] == v  # involution
+        if partner != v:
+            assert graph.has_edge(v, partner)
+
+
+class TestMatching:
+    def test_heavy_edge_valid(self, grid):
+        assert_valid_matching(grid, heavy_edge_matching(grid, seed=0))
+
+    def test_random_valid(self, grid):
+        assert_valid_matching(grid, random_matching(grid, seed=0))
+
+    def test_heavy_edge_prefers_heavy(self):
+        # Star with one heavy spoke: the hub must match the heavy leaf
+        # whenever the hub is visited first (seeded to guarantee coverage).
+        g = Graph.from_edges(3, [(0, 1, 1.0), (0, 2, 100.0)])
+        matched_heavy = 0
+        for seed in range(10):
+            mate = heavy_edge_matching(g, seed=seed)
+            if mate[0] == 2:
+                matched_heavy += 1
+        assert matched_heavy >= 5  # hub->heavy whenever hub or 2 visited first
+
+    def test_matching_to_coarse_map(self):
+        mate = np.array([1, 0, 2, 4, 3])
+        cmap = matching_to_coarse_map(mate)
+        assert cmap.tolist() == [0, 0, 1, 2, 2]
+
+    def test_matching_on_edgeless(self):
+        g = Graph.empty(3)
+        mate = heavy_edge_matching(g, seed=0)
+        assert mate.tolist() == [0, 1, 2]
+
+
+class TestContraction:
+    def test_weights_merge(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+        coarse, _ = contract_graph(g, np.array([0, 0, 1, 1]))
+        assert coarse.num_vertices == 2
+        # Edges (0,2) and (1,2) merge into one coarse edge of weight 5.
+        assert coarse.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_vertex_weights_sum(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)],
+                             vertex_weights=np.array([1.0, 2.0, 4.0]))
+        coarse, _ = contract_graph(g, np.array([0, 0, 1]))
+        assert coarse.vertex_weights.tolist() == [3.0, 4.0]
+
+    def test_total_weight_conserved_minus_internal(self, grid):
+        mate = heavy_edge_matching(grid, seed=1)
+        cmap = matching_to_coarse_map(mate)
+        coarse, _ = contract_graph(grid, cmap)
+        internal = sum(
+            grid.edge_weight(v, int(mate[v])) for v in range(64) if mate[v] > v
+        )
+        assert coarse.total_edge_weight == pytest.approx(
+            grid.total_edge_weight - internal
+        )
+
+    def test_rejects_gapped_map(self, triangle):
+        with pytest.raises(GraphError, match="contiguous"):
+            contract_graph(triangle, np.array([0, 2, 2]))
+
+    def test_rejects_wrong_shape(self, triangle):
+        with pytest.raises(GraphError):
+            contract_graph(triangle, np.array([0, 0]))
+
+
+class TestHierarchy:
+    def test_strictly_shrinks(self, grid):
+        levels = build_hierarchy(grid, min_vertices=8, seed=0)
+        sizes = [lv.graph.num_vertices for lv in levels]
+        assert sizes[0] == 64
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] <= 16  # roughly halves per level
+
+    def test_single_level_for_small_graph(self, triangle):
+        levels = build_hierarchy(triangle, min_vertices=10)
+        assert len(levels) == 1
+
+    def test_maps_compose_to_finest(self, grid):
+        levels = build_hierarchy(grid, min_vertices=8, seed=0)
+        ids = np.arange(64)
+        for lv in levels[1:]:
+            ids = lv.fine_to_coarse[ids]
+        assert ids.max() == levels[-1].graph.num_vertices - 1
+
+    def test_coarsen_once(self, grid):
+        coarse, cmap = coarsen_once(grid, seed=0)
+        assert coarse.num_vertices < 64
+        assert cmap.shape == (64,)
+
+
+class TestInitialPartition:
+    def test_greedy_growing_balanced(self):
+        g = grid_graph(10, 10)
+        p = greedy_growing_partition(g, 5, seed=0)
+        assert p.num_parts == 5
+        assert imbalance(p) < 1.5
+
+    def test_greedy_growing_k_equals_n(self, triangle):
+        p = greedy_growing_partition(triangle, 3, seed=0)
+        assert p.num_parts == 3
+
+    def test_greedy_rejects_bad_k(self, triangle):
+        with pytest.raises(ConfigurationError):
+            greedy_growing_partition(triangle, 9)
+
+    def test_spectral_initial_power_of_two(self):
+        g = grid_graph(8, 8)
+        p = initial_partition(g, 4, method="spectral", seed=0)
+        assert p.num_parts == 4
+
+    def test_spectral_initial_fallback_non_power(self):
+        g = grid_graph(8, 8)
+        p = initial_partition(g, 5, method="spectral", seed=0)
+        assert p.num_parts == 5
+
+    def test_unknown_method(self, grid):
+        with pytest.raises(ConfigurationError):
+            initial_partition(grid, 4, method="quantum")
+
+
+class TestMultilevelPartitioner:
+    def test_caveman_planted_optimum(self):
+        g = weighted_caveman_graph(8, 8)
+        p = MultilevelPartitioner(k=8).partition(g, seed=0)
+        assert p.edge_cut() == pytest.approx(8.0)
+
+    def test_balanced_grid(self):
+        p = MultilevelPartitioner(k=8).partition(grid_graph(16, 16), seed=0)
+        assert p.num_parts == 8
+        assert imbalance(p) <= 1.35
+
+    def test_non_power_of_two_k(self):
+        p = MultilevelPartitioner(k=6).partition(grid_graph(12, 12), seed=0)
+        assert p.num_parts == 6
+
+    def test_refinement_helps(self):
+        g = weighted_caveman_graph(6, 10)
+        refined = MultilevelPartitioner(k=6, refine=True).partition(g, seed=3)
+        raw = MultilevelPartitioner(k=6, refine=False).partition(g, seed=3)
+        assert refined.edge_cut() <= raw.edge_cut()
+
+    def test_small_graph_no_hierarchy(self):
+        # Graph already below the coarsening threshold: single level path.
+        g = grid_graph(4, 4)
+        p = MultilevelPartitioner(k=2, min_coarse_vertices=64).partition(g, seed=0)
+        assert p.num_parts == 2
+
+    def test_rejects_k_above_n(self, triangle):
+        with pytest.raises(ConfigurationError):
+            MultilevelPartitioner(k=10).partition(triangle)

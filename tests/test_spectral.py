@@ -1,0 +1,256 @@
+"""Unit tests for the spectral machinery: Lanczos, MINRES, RQI, Fiedler,
+bisection and the partitioner classes — validated against scipy oracles."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.common.exceptions import ConfigurationError, ConvergenceError
+from repro.graph import (
+    barbell_graph,
+    grid_graph,
+    laplacian_matrix,
+    path_graph,
+    weighted_caveman_graph,
+)
+from repro.spectral import (
+    LinearPartitioner,
+    SpectralPartitioner,
+    fiedler_vector,
+    lanczos_smallest,
+    minres,
+    rayleigh_quotient_iteration,
+    recursive_spectral_partition,
+    spectral_bisection,
+    split_by_median,
+)
+
+
+def constant_deflation(n):
+    return np.full((n, 1), 1.0 / np.sqrt(n))
+
+
+class TestLanczos:
+    def test_matches_scipy_on_grid(self):
+        g = grid_graph(6, 6)
+        lap = laplacian_matrix(g)
+        vals, vecs = lanczos_smallest(
+            lap, num_eigenpairs=3, deflate=constant_deflation(36), seed=0
+        )
+        ref = np.sort(spla.eigsh(lap.asfptype(), k=4, sigma=-1e-6)[0])[1:4]
+        assert np.allclose(vals, ref, atol=1e-6)
+
+    def test_eigenvectors_are_eigenvectors(self):
+        g = weighted_caveman_graph(3, 5)
+        lap = laplacian_matrix(g)
+        vals, vecs = lanczos_smallest(
+            lap, num_eigenpairs=2, deflate=constant_deflation(15), seed=1
+        )
+        for i in range(2):
+            residual = np.linalg.norm(lap @ vecs[:, i] - vals[i] * vecs[:, i])
+            assert residual < 1e-6
+
+    def test_orthonormal_output(self):
+        g = grid_graph(5, 5)
+        lap = laplacian_matrix(g)
+        _, vecs = lanczos_smallest(
+            lap, num_eigenpairs=3, deflate=constant_deflation(25), seed=2
+        )
+        gram = vecs.T @ vecs
+        assert np.allclose(gram, np.eye(3), atol=1e-6)
+
+    def test_disconnected_graph_multiplicity(self):
+        # Two components: eigenvalue 0 has multiplicity 2; after deflating
+        # the global constant vector one zero mode remains and must be
+        # found as the smallest pair.
+        from repro.graph import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        lap = laplacian_matrix(g)
+        vals, _ = lanczos_smallest(
+            lap, num_eigenpairs=1, deflate=constant_deflation(6), seed=0
+        )
+        assert vals[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_rejects_bad_requests(self):
+        g = grid_graph(3, 3)
+        lap = laplacian_matrix(g)
+        with pytest.raises(ValueError):
+            lanczos_smallest(lap, num_eigenpairs=0)
+        with pytest.raises(ValueError):
+            lanczos_smallest(lap, num_eigenpairs=100)
+
+    def test_adaptive_expansion_reaches_tolerance(self):
+        # A graph with tight spectral clustering that defeats a tiny
+        # Krylov space on the first attempt.
+        g = weighted_caveman_graph(8, 6, intra_weight=50.0, inter_weight=0.1)
+        lap = laplacian_matrix(g)
+        vals, vecs = lanczos_smallest(
+            lap,
+            num_eigenpairs=4,
+            deflate=constant_deflation(48),
+            max_iterations=8,  # deliberately too small; must auto-expand
+            seed=3,
+        )
+        for i in range(4):
+            res = np.linalg.norm(lap @ vecs[:, i] - vals[i] * vecs[:, i])
+            assert res <= 1e-8 * max(1.0, abs(vals[i]))
+
+
+class TestMinres:
+    def test_solves_spd_system(self, rng):
+        g = grid_graph(5, 5)
+        a = (laplacian_matrix(g) + 0.7 * sp.eye(25)).tocsr()
+        b = rng.standard_normal(25)
+        x = minres(a, b, max_iterations=500, tolerance=1e-12)
+        assert np.linalg.norm(a @ x - b) < 1e-8
+
+    def test_solves_indefinite_system(self, rng):
+        g = grid_graph(5, 5)
+        # Shift into the interior of the spectrum: indefinite.
+        a = (laplacian_matrix(g) - 2.0 * sp.eye(25)).tocsr()
+        b = rng.standard_normal(25)
+        x = minres(a, b, max_iterations=800, tolerance=1e-12)
+        assert np.linalg.norm(a @ x - b) < 1e-6
+
+    def test_matches_scipy(self, rng):
+        g = grid_graph(4, 4)
+        a = (laplacian_matrix(g) + 0.3 * sp.eye(16)).tocsr()
+        b = rng.standard_normal(16)
+        ours = minres(a, b, max_iterations=400, tolerance=1e-12)
+        theirs, info = spla.minres(a, b, rtol=1e-12, maxiter=400)
+        assert info == 0
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_callable_operator(self, rng):
+        g = grid_graph(4, 4)
+        a = (laplacian_matrix(g) + sp.eye(16)).tocsr()
+        b = rng.standard_normal(16)
+        x = minres(lambda v: a @ v, b, max_iterations=300)
+        assert np.linalg.norm(a @ x - b) < 1e-6
+
+    def test_zero_rhs(self):
+        g = grid_graph(3, 3)
+        a = laplacian_matrix(g)
+        assert np.allclose(minres(a, np.zeros(9)), 0.0)
+
+
+class TestRQI:
+    def test_converges_to_fiedler_with_warm_start(self):
+        g = grid_graph(6, 6)
+        lap = laplacian_matrix(g)
+        deflate = constant_deflation(36)
+        _, warm = lanczos_smallest(
+            lap, num_eigenpairs=1, deflate=deflate, tolerance=1.0,
+            max_iterations=10, seed=0,
+        )
+        rho, vec = rayleigh_quotient_iteration(
+            lap, x0=warm[:, 0], deflate=deflate, seed=0
+        )
+        ref = np.sort(spla.eigsh(lap.asfptype(), k=2, sigma=-1e-6)[0])[1]
+        assert rho == pytest.approx(ref, abs=1e-6)
+
+    def test_finds_some_eigenpair_from_random(self):
+        g = weighted_caveman_graph(3, 4)
+        lap = laplacian_matrix(g)
+        rho, vec = rayleigh_quotient_iteration(
+            lap, deflate=constant_deflation(12), seed=5
+        )
+        assert np.linalg.norm(lap @ vec - rho * vec) < 1e-6
+
+
+class TestFiedler:
+    def test_sign_pattern_separates_barbell(self):
+        g = barbell_graph(6)
+        vec = fiedler_vector(g, seed=0)
+        left = set(np.flatnonzero(vec < np.median(vec)).tolist())
+        assert left in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+
+    def test_rqi_solver_agrees_with_lanczos(self):
+        g = grid_graph(5, 5)
+        v1 = fiedler_vector(g, solver="lanczos", seed=0)
+        v2 = fiedler_vector(g, solver="rqi", seed=0)
+        # Same 1-D eigenspace: |cos| == 1.
+        cos = abs(v1 @ v2) / (np.linalg.norm(v1) * np.linalg.norm(v2))
+        assert cos == pytest.approx(1.0, abs=1e-6)
+
+    def test_ncut_criterion_runs(self):
+        g = weighted_caveman_graph(3, 5)
+        vec = fiedler_vector(g, criterion="ncut", seed=0)
+        assert vec.shape == (15,)
+
+    def test_unknown_solver(self):
+        with pytest.raises(ConfigurationError):
+            fiedler_vector(grid_graph(3, 3), solver="magic")
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ConfigurationError):
+            fiedler_vector(grid_graph(3, 3), criterion="sparsest")
+
+
+class TestSplitsAndRecursion:
+    def test_median_split_balanced(self):
+        side = split_by_median(np.array([5.0, 1.0, 3.0, 2.0, 4.0, 0.0]))
+        assert side.sum() == 3
+
+    def test_weighted_median_split(self):
+        values = np.array([1.0, 2.0, 3.0])
+        weights = np.array([5.0, 1.0, 4.0])
+        side = split_by_median(values, weights=weights)
+        # Best weight balance: {1.0} (5) vs {2.0, 3.0} (5).
+        assert side.tolist() == [False, True, True]
+
+    def test_split_rejects_single_vertex(self):
+        with pytest.raises(ConfigurationError):
+            split_by_median(np.array([1.0]))
+
+    def test_bisection_of_barbell_cuts_bridge(self):
+        p = spectral_bisection(barbell_graph(8), seed=0)
+        assert p.edge_cut() == pytest.approx(1.0)
+
+    def test_recursive_partition_k4(self):
+        p = recursive_spectral_partition(grid_graph(8, 8), 4, seed=0)
+        assert p.num_parts == 4
+        assert sorted(p.size.tolist()) == [16, 16, 16, 16]
+
+    def test_octasection(self):
+        p = recursive_spectral_partition(grid_graph(8, 8), 8, arity=8, seed=0)
+        assert p.num_parts == 8
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            recursive_spectral_partition(grid_graph(4, 4), 3)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            recursive_spectral_partition(grid_graph(2, 2), 8)
+
+
+class TestPartitioners:
+    def test_linear_contiguous(self):
+        p = LinearPartitioner(k=4).partition(grid_graph(4, 8))
+        assert p.num_parts == 4
+        # Contiguous index ranges.
+        assert (np.diff(p.assignment) >= 0).all()
+
+    def test_linear_kl_improves_on_caveman(self):
+        # Interleave cave members so index-order blocks are terrible.
+        g = weighted_caveman_graph(4, 8)
+        raw = LinearPartitioner(k=4).partition(g)
+        refined = LinearPartitioner(k=4, refine=True).partition(g)
+        assert refined.edge_cut() <= raw.edge_cut()
+
+    def test_spectral_partitioner_caveman(self):
+        p = SpectralPartitioner(k=4).partition(weighted_caveman_graph(4, 6), seed=0)
+        assert p.edge_cut() == pytest.approx(4.0)  # the weak ring links
+
+    def test_spectral_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            SpectralPartitioner(k=3).partition(grid_graph(4, 4), seed=0)
+
+    def test_rqi_partitioner_runs(self):
+        p = SpectralPartitioner(k=4, solver="rqi").partition(
+            grid_graph(6, 6), seed=0
+        )
+        assert p.num_parts == 4
