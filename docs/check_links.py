@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Docs smoke check: every relative markdown link must resolve.
+
+Scans README.md and docs/*.md for ``[text](target)`` links, ignores
+absolute URLs and in-page anchors, and verifies each relative target
+exists in the repository.  Exit code 1 (listing the offenders) when any
+link is broken — run by the CI docs job and by the tier-1 test suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    """README plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links() -> list[tuple[Path, str]]:
+    """``(source file, target)`` for every unresolvable relative link."""
+    broken = []
+    for doc in doc_files():
+        for target in LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                broken.append((doc, target))
+    return broken
+
+
+def main() -> int:
+    docs = doc_files()
+    if not any(f.name == "README.md" for f in docs):
+        print("FAIL: README.md is missing")
+        return 1
+    bad = broken_links()
+    for doc, target in bad:
+        print(f"BROKEN: {doc.relative_to(REPO_ROOT)} -> {target}")
+    if bad:
+        return 1
+    print(f"ok: {len(docs)} docs, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,43 @@
-"""Setup shim for environments with old setuptools (no PEP 660 support).
+"""Packaging for the fusion–fission reproduction.
 
-``pip install -e . --no-build-isolation`` needs setuptools >= 64 plus the
-``wheel`` package; this shim lets ``python setup.py develop`` work offline.
-All real metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` (no build isolation needed) so
+``pip install -e .`` and ``python setup.py develop`` both work offline on
+old setuptools.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    for line in init.read_text().splitlines():
+        if line.startswith("__version__"):
+            return line.split("=")[1].strip().strip("\"'")
+    raise RuntimeError("__version__ not found in src/repro/__init__.py")
+
+
+setup(
+    name="repro-fusion-fission",
+    version=_version(),
+    description=(
+        "Fusion-fission graph partitioning (Bichot, IPDPS 2006): the "
+        "metaheuristic, all baselines, and a parallel portfolio engine"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text(),
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.25", "scipy>=1.8"],
+    extras_require={"test": ["pytest"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Mathematics",
+        "License :: OSI Approved :: MIT License",
+    ],
+)

@@ -22,6 +22,7 @@ Package map
 ``repro.fusionfission``  the paper's contribution (§4)
 ``repro.atc``            the FABOP air-traffic application (§5)
 ``repro.bench``          Table-1 / Figure-1 reproduction harness
+``repro.engine``         parallel portfolio runner over all solver families
 """
 
 from repro.graph import Graph, GraphBuilder
@@ -42,10 +43,16 @@ from repro.antcolony import AntColonyPartitioner
 from repro.fusionfission import FusionFissionPartitioner
 from repro.atc import core_area_graph, core_area_network, build_blocks, block_report
 from repro.bench import make_partitioner
+from repro.engine import (
+    PartitionProblem,
+    PortfolioResult,
+    PortfolioRunner,
+    SolverSpec,
+)
 from repro.graph.analysis import modularity, conductance
 from repro.viz import render_partition_svg, render_traces_svg
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -71,6 +78,10 @@ __all__ = [
     "build_blocks",
     "block_report",
     "make_partitioner",
+    "PartitionProblem",
+    "SolverSpec",
+    "PortfolioRunner",
+    "PortfolioResult",
     "modularity",
     "conductance",
     "render_partition_svg",

@@ -24,7 +24,6 @@ import numpy as np
 from repro.atc.europe import core_area_graph
 from repro.common.rng import SeedLike, ensure_rng
 from repro.common.timer import Timer
-from repro.partition.metrics import evaluate_partition
 
 __all__ = ["QualityTrace", "trace_metaheuristic", "run_figure1", "reference_lines"]
 
@@ -103,19 +102,26 @@ def trace_metaheuristic(
     return trace
 
 
-def reference_lines(graph, k: int, seed: SeedLike = None) -> dict[str, float]:
-    """Best spectral and multilevel Mcut (the horizontal lines of Fig. 1)."""
+def reference_lines(
+    graph, k: int, seed: SeedLike = None, jobs: int = 1
+) -> dict[str, float]:
+    """Best spectral and multilevel Mcut (the horizontal lines of Fig. 1).
+
+    Runs through the suite harness (and therefore the portfolio engine),
+    so ``jobs > 1`` computes the reference rows on a process pool.
+    """
+    from repro.bench.harness import run_suite
     from repro.bench.registry import table1_methods
 
-    rng = ensure_rng(seed)
     best: dict[str, float] = {"spectral": float("inf"), "multilevel": float("inf")}
-    for label, partitioner in table1_methods(k=k):
-        family = label.split(" ")[0].lower()
-        if family not in best:
-            continue
-        partition = partitioner.partition(graph, seed=rng.spawn(1)[0])
-        mcut = evaluate_partition(partition).mcut
-        best[family] = min(best[family], mcut)
+    selected = [
+        (label, partitioner)
+        for label, partitioner in table1_methods(k=k)
+        if label.split(" ")[0].lower() in best
+    ]
+    for result in run_suite(selected, graph, seed=seed, jobs=jobs):
+        family = result.label.split(" ")[0].lower()
+        best[family] = min(best[family], result.mcut)
     return best
 
 
@@ -127,12 +133,18 @@ def run_figure1(
     methods: tuple[str, ...] = (
         "simulated-annealing", "ant-colony", "fusion-fission",
     ),
+    jobs: int = 1,
 ) -> tuple[list[QualityTrace], dict[str, float]]:
-    """Produce all Figure-1 series: metaheuristic traces + reference lines."""
+    """Produce all Figure-1 series: metaheuristic traces + reference lines.
+
+    ``jobs`` parallelises the reference lines only; the traces stay
+    sequential because their improvement callbacks sample a shared
+    wall-clock.
+    """
     if graph is None:
         graph = core_area_graph(seed=seed)
     rng = ensure_rng(seed)
-    refs = reference_lines(graph, k, seed=rng.spawn(1)[0])
+    refs = reference_lines(graph, k, seed=rng.spawn(1)[0], jobs=jobs)
     traces = [
         trace_metaheuristic(m, graph, k, budget, seed=rng.spawn(1)[0])
         for m in methods
@@ -167,8 +179,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--seed", type=int, default=2006)
     parser.add_argument("--budget", type=float, default=60.0)
     parser.add_argument("--json", type=str, default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the reference lines")
     args = parser.parse_args(argv)
-    traces, refs = run_figure1(k=args.k, budget=args.budget, seed=args.seed)
+    traces, refs = run_figure1(k=args.k, budget=args.budget, seed=args.seed,
+                               jobs=args.jobs)
     print(format_figure(traces, refs, args.budget))
     if args.json:
         payload = {

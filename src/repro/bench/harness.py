@@ -1,9 +1,19 @@
-"""Suite runner and table formatting for the reproduction benchmarks."""
+"""Suite runner and table formatting for the reproduction benchmarks.
+
+Since the portfolio engine landed, :func:`run_suite` is a thin adapter
+over :class:`repro.engine.PortfolioRunner`: each ``(label, partitioner)``
+row becomes a prebuilt :class:`~repro.engine.SolverSpec` and the suite
+executes on the engine — sequentially by default, or on a process pool
+with ``jobs > 1`` (the Table-1/Figure-1 benches pass ``--jobs`` through
+and get multi-core for free).  Seed derivation is unchanged from the
+pre-engine harness: one generator spawned per method, in row order.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.exceptions import ReproError
 from repro.common.rng import SeedLike, ensure_rng
 from repro.common.timer import Timer
 from repro.graph.graph import Graph
@@ -54,25 +64,69 @@ def run_method(label: str, partitioner, graph: Graph, seed: SeedLike = None) -> 
     )
 
 
+def _format_progress(result: MethodResult) -> str:
+    return (
+        f"  {result.label:<28} Cut/1000={result.cut / 1000.0:>9.1f} "
+        f"Ncut={result.ncut:>7.2f} Mcut={result.mcut:>9.2f} "
+        f"[{result.seconds:.1f}s]"
+    )
+
+
 def run_suite(
     methods: list[tuple[str, object]],
     graph: Graph,
     seed: SeedLike = None,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> list[MethodResult]:
-    """Run every (label, partitioner) pair; one spawned seed per method."""
+    """Run every (label, partitioner) pair; one spawned seed per method.
+
+    ``jobs > 1`` fans the suite out on the engine's process pool; results
+    (and their seeds) are identical to a sequential run, only wall-clock
+    changes.
+    """
+    from repro.engine import PartitionProblem, PortfolioRunner, SolverSpec
+
+    if not methods:
+        return []
     rng = ensure_rng(seed)
-    results = []
-    for label, partitioner in methods:
-        result = run_method(label, partitioner, graph, seed=rng.spawn(1)[0])
-        if verbose:
-            print(
-                f"  {label:<28} Cut/1000={result.cut / 1000.0:>9.1f} "
-                f"Ncut={result.ncut:>7.2f} Mcut={result.mcut:>9.2f} "
-                f"[{result.seconds:.1f}s]"
+    specs = [SolverSpec.from_partitioner(label, p) for label, p in methods]
+    seed_grid = [[rng.spawn(1)[0]] for _ in specs]
+    problem = PartitionProblem(
+        graph,
+        k=max(int(getattr(p, "k", 1)) for _, p in methods),
+        objective="mcut",
+        name="bench-suite",
+    )
+    runner = PortfolioRunner(specs, num_seeds=1, jobs=jobs, seed=0)
+
+    def on_record(record) -> None:
+        # Fail fast: raising here aborts the engine run (remaining tasks
+        # are cancelled) instead of burning the rest of the suite budget.
+        # ReproError keeps the library contract — callers wrapping the
+        # bench in `except ReproError` still catch solver failures even
+        # though the original exception died in a worker process.
+        if not record.ok:
+            raise ReproError(
+                f"bench method {record.label!r} failed: {record.error}"
             )
-        results.append(result)
-    return results
+        if verbose:
+            print(_format_progress(_to_method_result(record)))
+
+    result = runner.run(problem, seed_grid=seed_grid, on_record=on_record)
+    return [_to_method_result(record) for record in result.records]
+
+
+def _to_method_result(record) -> MethodResult:
+    report = record.report
+    return MethodResult(
+        label=record.label,
+        cut=report.cut,
+        ncut=report.ncut,
+        mcut=report.mcut,
+        num_parts=report.num_parts,
+        seconds=record.seconds,
+    )
 
 
 def format_table(results: list[MethodResult], title: str = "") -> str:

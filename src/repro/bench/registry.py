@@ -1,9 +1,13 @@
 """Method registry: canonical names → partitioner factories.
 
 Every partitioner in the library exposes ``partition(graph, seed=None) ->
-Partition``; the registry lets the harness, the FABOP API and the examples
-instantiate them uniformly.  :func:`table1_methods` returns the exact
-method matrix of the paper's Table 1 (17 rows).
+Partition``; the registry lets the harness, the portfolio engine, the
+FABOP API and the examples instantiate them uniformly.
+:func:`canonical_method` resolves user-facing aliases (``annealing``,
+``ff``, …), :func:`budget_options` centralises the per-method knobs that
+turn a wall-clock budget into authoritative stopping criteria, and
+:func:`table1_methods` returns the exact method matrix of the paper's
+Table 1 (17 rows).
 """
 
 from __future__ import annotations
@@ -12,7 +16,17 @@ from typing import Any, Callable
 
 from repro.common.exceptions import ConfigurationError
 
-__all__ = ["METHOD_FACTORIES", "make_partitioner", "table1_methods"]
+__all__ = [
+    "METHOD_FACTORIES",
+    "METHOD_ALIASES",
+    "METHOD_SUMMARIES",
+    "METAHEURISTICS",
+    "canonical_method",
+    "budget_options",
+    "list_methods",
+    "make_partitioner",
+    "table1_methods",
+]
 
 
 def _linear(k: int, **opts: Any):
@@ -67,15 +81,79 @@ METHOD_FACTORIES: dict[str, Callable[..., Any]] = {
     "fusion-fission": _fusionfission,
 }
 
+#: User-facing shorthands accepted wherever a method name is expected.
+METHOD_ALIASES: dict[str, str] = {
+    "annealing": "simulated-annealing",
+    "sa": "simulated-annealing",
+    "antcolony": "ant-colony",
+    "ants": "ant-colony",
+    "aco": "ant-colony",
+    "ff": "fusion-fission",
+    "fusionfission": "fusion-fission",
+    "ml": "multilevel",
+}
+
+#: One-line description per canonical method (``repro portfolio
+#: --list-methods`` and the README table are generated from this).
+METHOD_SUMMARIES: dict[str, str] = {
+    "linear": "index-order recursive split; the do-nothing baseline",
+    "spectral": "Lanczos/RQI Fiedler-vector recursion, optional KL",
+    "multilevel": "coarsen → initial partition → FM-refined uncoarsening",
+    "percolation": "the paper's §4.4 flooding heuristic from k centres",
+    "simulated-annealing": "Metropolis vertex moves at fixed k (paper §3.1)",
+    "ant-colony": "k competing colonies claiming territory (paper §3.2)",
+    "fusion-fission": "the paper's contribution: variable-k atom dynamics (§4)",
+}
+
+#: Methods that honour ``time_budget`` / ``objective`` options.
+METAHEURISTICS = frozenset(
+    {"simulated-annealing", "ant-colony", "fusion-fission"}
+)
+
+
+def canonical_method(method: str) -> str:
+    """Resolve a method name or alias to its canonical registry key."""
+    key = method.strip().lower()
+    key = METHOD_ALIASES.get(key, key)
+    if key not in METHOD_FACTORIES:
+        known = sorted(METHOD_FACTORIES) + sorted(METHOD_ALIASES)
+        raise ConfigurationError(
+            f"unknown method {method!r}; choose from {known}"
+        )
+    return key
+
+
+def list_methods() -> list[tuple[str, list[str], str]]:
+    """``(canonical name, aliases, summary)`` rows for every method."""
+    rows = []
+    for name in sorted(METHOD_FACTORIES):
+        aliases = sorted(a for a, c in METHOD_ALIASES.items() if c == name)
+        rows.append((name, aliases, METHOD_SUMMARIES.get(name, "")))
+    return rows
+
+
+def budget_options(method: str, time_budget: float | None) -> dict[str, Any]:
+    """Options that make ``time_budget`` the authoritative stop criterion.
+
+    The metaheuristics stop at *either* their step/iteration cap or the
+    wall-clock budget; when a budget is given the caps are lifted so the
+    whole budget is used.  Non-metaheuristics ignore budgets (they are
+    direct constructions) and get no options.
+    """
+    key = canonical_method(method)
+    if time_budget is None or key not in METAHEURISTICS:
+        return {}
+    options: dict[str, Any] = {"time_budget": time_budget}
+    if key == "fusion-fission":
+        options["max_steps"] = 10**9
+    elif key == "ant-colony":
+        options["iterations"] = 10**9
+    return options
+
 
 def make_partitioner(method: str, k: int, **options: Any):
-    """Instantiate a partitioner by registry name."""
-    key = method.lower()
-    if key not in METHOD_FACTORIES:
-        raise ConfigurationError(
-            f"unknown method {method!r}; choose from {sorted(METHOD_FACTORIES)}"
-        )
-    return METHOD_FACTORIES[key](k, **options)
+    """Instantiate a partitioner by registry name (aliases accepted)."""
+    return METHOD_FACTORIES[canonical_method(method)](k, **options)
 
 
 def table1_methods(

@@ -28,12 +28,17 @@ def run_table1(
     metaheuristic_budget: float | None = 30.0,
     graph=None,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> list[MethodResult]:
-    """Run the full Table-1 suite; returns one result per method row."""
+    """Run the full Table-1 suite; returns one result per method row.
+
+    ``jobs > 1`` runs the 17 rows on the portfolio engine's process pool
+    (same seeds, same numbers, less wall-clock).
+    """
     if graph is None:
         graph = core_area_graph(seed=seed)
     methods = table1_methods(k=k, metaheuristic_budget=metaheuristic_budget)
-    return run_suite(methods, graph, seed=seed, verbose=verbose)
+    return run_suite(methods, graph, seed=seed, verbose=verbose, jobs=jobs)
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -45,10 +50,12 @@ def main(argv: list[str] | None = None) -> None:
                         help="seconds per metaheuristic")
     parser.add_argument("--json", type=str, default=None,
                         help="also dump results to this JSON file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the suite (1 = in-process)")
     args = parser.parse_args(argv)
     results = run_table1(
         k=args.k, seed=args.seed, metaheuristic_budget=args.budget,
-        verbose=True,
+        verbose=True, jobs=args.jobs,
     )
     print()
     print(format_table(

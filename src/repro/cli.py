@@ -1,15 +1,23 @@
 """Command-line interface.
 
-Four subcommands, mirroring how Chaco/Metis are driven from the shell::
+Five subcommands, mirroring how Chaco/Metis are driven from the shell::
 
-    python -m repro partition INPUT -k 32 --method fusion-fission -o parts.txt
-    python -m repro evaluate INPUT parts.txt
-    python -m repro generate atc -o core_area.graph
-    python -m repro convert INPUT OUTPUT
+    repro partition INPUT -k 32 --method fusion-fission -o parts.txt
+    repro portfolio INPUT -k 32 --methods ff,annealing --seeds 4 --jobs 4
+    repro evaluate INPUT parts.txt
+    repro generate atc -o core_area.graph
+    repro convert INPUT OUTPUT
+
+(``python -m repro`` is equivalent to the ``repro`` console script.)
 
 * ``partition`` reads a graph (METIS ``.graph``, edge-list ``.txt``/
   ``.edges`` or ``.json``), partitions it with any registered method and
-  writes one part id per line (Metis' output convention).
+  writes one part id per line (Metis' output convention).  With
+  ``--seeds N [--parallel]`` it runs N seeded restarts (optionally on a
+  process pool) and keeps the best.
+* ``portfolio`` fans one instance out across (method × seed) on the
+  portfolio engine's process pool, prints per-method statistics and
+  writes the best assignment / a JSON report.
 * ``evaluate`` scores an existing assignment file on all three paper
   criteria plus balance/connectivity diagnostics.
 * ``generate`` writes a synthetic instance (``atc``, ``grid``, ``caveman``,
@@ -26,8 +34,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench.registry import METHOD_FACTORIES, make_partitioner
-from repro.common.exceptions import ReproError
+from repro.bench.registry import METHOD_FACTORIES, list_methods
+from repro.common.exceptions import GraphError, ReproError
 from repro.graph import (
     Graph,
     grid_graph,
@@ -44,19 +52,38 @@ from repro.partition import Partition, evaluate_partition
 
 __all__ = ["main", "read_graph_auto", "write_graph_auto"]
 
+#: Extensions :func:`read_graph_auto` dispatches on (error messages cite
+#: this list, so keep it in sync with the dispatch below).
+SUPPORTED_EXTENSIONS = (".graph", ".metis", ".json", ".txt", ".edges")
+
 
 def read_graph_auto(path: str | Path) -> Graph:
     """Read a graph, dispatching on file extension.
 
     ``.graph``/``.metis`` → METIS, ``.json`` → JSON, anything else →
-    edge list.
+    edge list.  Parse failures name the supported extensions so a typo'd
+    extension produces an actionable message.
     """
     suffix = Path(path).suffix.lower()
-    if suffix in (".graph", ".metis"):
-        return read_metis(path)
-    if suffix == ".json":
-        return read_json(path)
-    return read_edgelist(path)
+    try:
+        if suffix in (".graph", ".metis"):
+            # A correctly-dispatched reader reports path and cause
+            # itself; the extension hint below is only for files we
+            # *guessed* how to read.
+            return read_metis(path)
+        if suffix == ".json":
+            return read_json(path)
+        return read_edgelist(path)
+    except FileNotFoundError as exc:
+        raise GraphError(f"graph file not found: {path}") from exc
+    except (GraphError, ValueError, OSError) as exc:
+        if suffix in SUPPORTED_EXTENSIONS and isinstance(exc, GraphError):
+            raise
+        raise GraphError(
+            f"cannot read {path}: {exc} (supported extensions: "
+            f"{', '.join(SUPPORTED_EXTENSIONS)}; "
+            "anything else is parsed as an edge list)"
+        ) from exc
 
 
 def write_graph_auto(graph: Graph, path: str | Path) -> None:
@@ -71,32 +98,120 @@ def write_graph_auto(graph: Graph, path: str | Path) -> None:
         write_edgelist(graph, path)
 
 
-def _cmd_partition(args: argparse.Namespace) -> int:
-    graph = read_graph_auto(args.input)
-    options: dict = {}
-    if args.budget is not None:
-        options["time_budget"] = args.budget
-        if args.method == "fusion-fission":
-            options["max_steps"] = 10**9
-        elif args.method == "ant-colony":
-            options["iterations"] = 10**9
-    if args.objective and args.method in (
-        "fusion-fission", "simulated-annealing", "ant-colony"
-    ):
-        options["objective"] = args.objective
-    partitioner = make_partitioner(args.method, args.k, **options)
-    partition = partitioner.partition(graph, seed=args.seed)
-    lines = "\n".join(str(int(p)) for p in partition.assignment)
-    if args.output:
-        Path(args.output).write_text(lines + "\n")
+def _write_assignment(assignment, output: str | None) -> None:
+    lines = "\n".join(str(int(p)) for p in assignment)
+    if output:
+        Path(output).write_text(lines + "\n")
     else:
         print(lines)
-    report = evaluate_partition(partition)
+
+
+def _print_report(report) -> None:
     print(
         f"# k={report.num_parts} cut={report.cut:g} ncut={report.ncut:.4f} "
         f"mcut={report.mcut:.4f} imbalance={report.imbalance:.3f}",
         file=sys.stderr,
     )
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.engine import PartitionProblem, PortfolioRunner, SolverSpec
+
+    if args.seeds < 1:
+        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
+    # Both branches build through SolverSpec.for_method so the
+    # objective/budget plumbing stays registry-driven in one place; a
+    # bad method name fails before any graph I/O.
+    spec = SolverSpec.for_method(
+        args.method, objective=args.objective, time_budget=args.budget
+    )
+    graph = read_graph_auto(args.input)
+    # --parallel / --jobs imply the engine path even with the default
+    # --seeds 1, so the flags are never silently ignored.
+    if args.seeds > 1 or args.parallel or args.jobs is not None:
+        jobs = args.jobs if args.jobs is not None else (
+            None if args.parallel else 1
+        )
+        runner = PortfolioRunner(
+            [spec], num_seeds=args.seeds, jobs=jobs, seed=args.seed
+        )
+        problem = PartitionProblem(
+            graph, k=args.k, objective=args.objective or "mcut",
+            name=str(args.input),
+        )
+        # With a single seed, pass --seed straight through so that
+        # --parallel/--jobs change only the execution strategy, never
+        # the partition the exact same request produced without them.
+        result = runner.run(
+            problem,
+            seed_grid=[[args.seed]] if args.seeds == 1 else None,
+        )
+        best = result.best
+        if best is None:
+            raise ReproError(
+                "every seeded run failed: "
+                + "; ".join(r.error or "?" for r in result.records)
+            )
+        print(
+            f"# best of {len(result.records)} runs: seed #{best.seed_index} "
+            f"{problem.objective}={best.objective:.6g}",
+            file=sys.stderr,
+        )
+        assignment, report = best.assignment, best.report
+    else:
+        partition = spec.build(args.k).partition(graph, seed=args.seed)
+        assignment, report = partition.assignment, evaluate_partition(partition)
+    _write_assignment(assignment, args.output)
+    _print_report(report)
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.engine import PartitionProblem, PortfolioRunner, SolverSpec
+
+    if args.list_methods:
+        for name, aliases, summary in list_methods():
+            alias_text = f" (aliases: {', '.join(aliases)})" if aliases else ""
+            print(f"{name:<22} {summary}{alias_text}")
+        return 0
+    if args.input is None or args.k is None:
+        raise ReproError("portfolio needs INPUT and -k (or --list-methods)")
+    # Method names are validated before any graph I/O.
+    specs = [
+        SolverSpec.for_method(
+            name, objective=args.objective, time_budget=args.budget
+        )
+        for name in args.methods.split(",")
+        if name.strip()
+    ]
+    graph = read_graph_auto(args.input)
+    problem = PartitionProblem(
+        graph, k=args.k, objective=args.objective, name=str(args.input)
+    )
+    runner = PortfolioRunner(
+        specs,
+        num_seeds=args.seeds,
+        jobs=args.jobs,
+        seed=args.seed,
+        deadline=args.deadline,
+    )
+    result = runner.run(problem)
+    # File outputs land before anything is printed: a closed stdout pipe
+    # (`... | head`) must not cost the user their --json/-o artifacts.
+    if args.json:
+        # Written even when every run failed: the report's error records
+        # are exactly what's needed to diagnose that case.  Only the
+        # winning assignment is embedded — per-run assignments would put
+        # n × runs integers in the report on big graphs.
+        Path(args.json).write_text(result.to_json() + "\n")
+    best = result.best
+    if best is not None and args.output:
+        _write_assignment(best.assignment, args.output)
+    print(result.format_stats_table())
+    if best is None:
+        print("error: every portfolio run failed", file=sys.stderr)
+        return 2
+    _print_report(best.report)
     return 0
 
 
@@ -154,29 +269,65 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Graph partitioning toolkit (fusion-fission reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("partition", help="partition a graph file")
     p.add_argument("input")
     p.add_argument("-k", type=int, required=True, help="number of parts")
-    p.add_argument(
-        "--method",
-        default="fusion-fission",
-        choices=sorted(METHOD_FACTORIES),
-    )
+    p.add_argument("--method", default="fusion-fission",
+                   help="method name or alias "
+                        f"(canonical: {', '.join(sorted(METHOD_FACTORIES))})")
     p.add_argument("--objective", default="mcut",
                    choices=["cut", "ncut", "mcut"],
                    help="criterion for the metaheuristics")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seeds", type=int, default=1,
+                   help="seeded restarts; keep the best (default 1)")
+    p.add_argument("--parallel", action="store_true",
+                   help="run restarts on a process pool (all cores)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for --seeds (implies --parallel)")
     p.add_argument("--budget", type=float, default=None,
                    help="wall-clock seconds for metaheuristics")
     p.add_argument("-o", "--output", default=None,
                    help="assignment file (stdout if omitted)")
     p.set_defaults(func=_cmd_partition)
+
+    f = sub.add_parser(
+        "portfolio",
+        help="race (method × seed) combinations in parallel, keep the best",
+    )
+    f.add_argument("input", nargs="?", default=None)
+    f.add_argument("-k", type=int, default=None, help="number of parts")
+    f.add_argument("--methods", default="fusion-fission,annealing,multilevel",
+                   help="comma-separated method names/aliases")
+    f.add_argument("--seeds", type=int, default=4, help="seeds per method")
+    f.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    f.add_argument("--seed", type=int, default=0,
+                   help="base entropy of the seed grid")
+    f.add_argument("--objective", default="mcut",
+                   choices=["cut", "ncut", "mcut"])
+    f.add_argument("--budget", type=float, default=None,
+                   help="per-run wall-clock seconds for metaheuristics")
+    f.add_argument("--deadline", type=float, default=None,
+                   help="total wall-clock seconds; unstarted runs cancel")
+    f.add_argument("--json", default=None,
+                   help="write the full portfolio report to this file")
+    f.add_argument("-o", "--output", default=None,
+                   help="write the best assignment to this file")
+    f.add_argument("--list-methods", action="store_true",
+                   help="list methods, aliases and summaries, then exit")
+    f.set_defaults(func=_cmd_portfolio)
 
     e = sub.add_parser("evaluate", help="score an assignment file")
     e.add_argument("input")
@@ -212,6 +363,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,7 +3,12 @@
 Every stochastic entry point in :mod:`repro` accepts a ``seed`` (or an
 already-constructed :class:`numpy.random.Generator`) and routes it through
 :func:`repro.common.rng.ensure_rng`, so any experiment in the repository is
-reproducible from a single integer.
+reproducible from a single integer.  Seeds, generators and
+:class:`numpy.random.SeedSequence` objects all pickle, which is what lets
+the portfolio engine (:mod:`repro.engine`) ship per-task seeds to worker
+processes without losing determinism; :class:`repro.common.timer.Deadline`
+is the shared wall-clock budget type used by both the metaheuristic inner
+loops and the engine's cancellation logic.
 """
 
 from repro.common.exceptions import (

@@ -1,0 +1,82 @@
+"""The problem half of the engine API: *what* to partition.
+
+A :class:`PartitionProblem` bundles a graph with the target part count and
+the raw objective used to compare solutions.  It is the single value every
+engine component agrees on: solver adapters build partitioners for its
+``k``, workers score candidate assignments with its ``objective``, and the
+aggregation layer rebuilds :class:`~repro.partition.Partition` objects
+against its ``graph``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.partition.metrics import PartitionReport, evaluate_partition
+from repro.partition.objectives import get_objective
+from repro.partition.partition import Partition
+
+__all__ = ["PartitionProblem"]
+
+
+@dataclass
+class PartitionProblem:
+    """A graph-partitioning instance.
+
+    Attributes
+    ----------
+    graph:
+        The CSR graph to partition.
+    k:
+        Target number of parts.
+    objective:
+        Raw criterion used to rank solutions (``"cut"``, ``"ncut"`` or
+        ``"mcut"``; the paper's ATC study uses ``"mcut"``).
+    name:
+        Free-form instance label carried into reports.
+    """
+
+    graph: Graph
+    k: int
+    objective: str = "mcut"
+    name: str = "graph"
+    _objective_fn: object = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.k > self.graph.num_vertices:
+            raise ConfigurationError(
+                f"k={self.k} exceeds the vertex count "
+                f"({self.graph.num_vertices})"
+            )
+        # Normalise before anyone does getattr(report, objective): the
+        # objective registry is case-insensitive, report fields are not.
+        self.objective = str(self.objective).strip().lower()
+        self._objective_fn = get_objective(self.objective)
+
+    def partition_from(self, assignment: np.ndarray) -> Partition:
+        """Rebuild a :class:`Partition` from a worker's assignment array."""
+        return Partition(self.graph, np.asarray(assignment, dtype=np.int64))
+
+    def score(self, partition: Partition) -> float:
+        """Raw objective value of ``partition`` (lower is better)."""
+        return float(self._objective_fn.value(partition))
+
+    def evaluate(self, assignment: np.ndarray) -> PartitionReport:
+        """Full paper-criteria report for an assignment array."""
+        return evaluate_partition(self.partition_from(assignment))
+
+    def as_dict(self) -> dict:
+        """Instance metadata for JSON reports (no graph payload)."""
+        return {
+            "name": self.name,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "k": self.k,
+            "objective": self.objective,
+        }

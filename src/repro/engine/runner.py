@@ -1,0 +1,329 @@
+"""The portfolio runner: fan one problem out across (solver × seed).
+
+Execution model
+---------------
+:class:`PortfolioRunner` expands its specs into a ``(spec × seed)`` task
+grid and runs every task through one of two executors:
+
+* **in-process** (``jobs=1``) — tasks run sequentially in the caller's
+  process.  Each task is deep-copied first, mirroring the pickling a
+  pool performs, so results are bit-identical between executors.
+* **process pool** (``jobs>1``) — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` whose workers receive the graph *once* via the
+  pool initializer (CSR arrays, rebuilt with ``validate=False``); tasks
+  then ship only the spec and seed, never the graph.
+
+Determinism: task ``(s, i)`` is seeded with
+``SeedSequence([base, s, i])``, a pure function of the runner's base
+seed and the grid coordinates — independent of executor, job count and
+completion order.  Callers may instead supply an explicit seed grid
+(the bench harness does, to preserve its historical seed derivation).
+
+Deadline/cancellation: a runner-level ``deadline`` (seconds) cancels
+every task that has not *started* when it expires; such tasks come back
+as failed records with ``error="cancelled: deadline ..."``.  Tasks
+already running are allowed to finish (bound their runtime with the
+per-run ``time_budget`` of the metaheuristics).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import copy
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike
+from repro.common.timer import Deadline, Timer
+from repro.engine.aggregate import PortfolioResult, RunRecord
+from repro.engine.problem import PartitionProblem
+from repro.engine.spec import SolverSpec
+from repro.graph.graph import Graph
+from repro.partition.metrics import evaluate_partition
+
+__all__ = ["PortfolioRunner", "RunTask"]
+
+
+@dataclass
+class RunTask:
+    """One executable cell of the (spec × seed) grid."""
+
+    spec: SolverSpec
+    k: int
+    objective: str
+    seed: SeedLike
+    spec_index: int
+    seed_index: int
+
+    def blank_record(self, error: str | None = None) -> RunRecord:
+        """A not-run record (used for cancellations and failures)."""
+        return RunRecord(
+            label=self.spec.label,
+            method=self.spec.method,
+            spec_index=self.spec_index,
+            seed_index=self.seed_index,
+            error=error,
+        )
+
+
+def execute_task(task: RunTask, graph: Graph) -> RunRecord:
+    """Run one task against ``graph`` and score it.
+
+    Never raises: solver failures come back as error records so one bad
+    entrant cannot sink the whole portfolio.
+    """
+    try:
+        partitioner = task.spec.build(task.k)
+        with Timer() as timer:
+            partition = partitioner.partition(graph, seed=task.seed)
+        record = task.blank_record()
+        record.seconds = timer.elapsed
+        record.assignment = np.asarray(partition.assignment, dtype=np.int64).copy()
+        record.report = evaluate_partition(partition)
+        # The report already carries every supported objective (cut/ncut/
+        # mcut); read it back rather than re-evaluating on the partition.
+        record.objective = float(getattr(record.report, task.objective))
+        return record
+    except Exception as exc:  # noqa: BLE001 - isolate entrant failures
+        return task.blank_record(error=f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  The graph is shipped once per worker through the
+# initializer and cached in a module global; tasks then pickle small.
+# ---------------------------------------------------------------------------
+_POOL_GRAPH: Graph | None = None
+
+
+def _worker_init(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    vertex_weights: np.ndarray,
+) -> None:
+    global _POOL_GRAPH
+    _POOL_GRAPH = Graph(
+        indptr, indices, weights, vertex_weights, validate=False
+    )
+
+
+def _worker_run(task: RunTask) -> RunRecord:
+    assert _POOL_GRAPH is not None, "pool worker used before initialisation"
+    return execute_task(task, _POOL_GRAPH)
+
+
+@dataclass
+class PortfolioRunner:
+    """Fan a :class:`PartitionProblem` out across (solver × seed).
+
+    Attributes
+    ----------
+    specs:
+        The portfolio entrants.
+    num_seeds:
+        Seeds per spec; the task grid is ``len(specs) × num_seeds``.
+    jobs:
+        Worker processes.  ``1`` runs in-process; ``None`` uses the CPU
+        count.
+    seed:
+        Base entropy of the default seed grid (``None`` = fresh OS
+        entropy, recorded on the runner for reproducibility).
+    deadline:
+        Optional total wall-clock budget in seconds; unstarted tasks are
+        cancelled once it expires.
+    """
+
+    specs: Sequence[SolverSpec]
+    num_seeds: int = 1
+    jobs: int | None = 1
+    seed: int | None = 0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ConfigurationError("portfolio needs at least one SolverSpec")
+        if self.num_seeds < 1:
+            raise ConfigurationError(
+                f"num_seeds must be >= 1, got {self.num_seeds}"
+            )
+        if self.jobs is None:
+            self.jobs = os.cpu_count() or 1
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.seed is None:
+            self.seed = int(np.random.SeedSequence().entropy % (2**63))
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be a non-negative integer, got {self.seed}"
+            )
+
+    # -- task grid ---------------------------------------------------------
+    def make_tasks(
+        self,
+        problem: PartitionProblem,
+        seed_grid: Sequence[Sequence[SeedLike]] | None = None,
+    ) -> list[RunTask]:
+        """Expand the (spec × seed) grid into concrete tasks.
+
+        ``seed_grid[s][i]`` overrides the default derivation for spec
+        ``s``, seed index ``i`` (shape must match the grid).
+        """
+        if seed_grid is not None:
+            if len(seed_grid) != len(self.specs) or any(
+                len(row) != self.num_seeds for row in seed_grid
+            ):
+                raise ConfigurationError(
+                    "seed_grid shape must be [len(specs)][num_seeds]"
+                )
+        tasks = []
+        for s, spec in enumerate(self.specs):
+            for i in range(self.num_seeds):
+                if seed_grid is not None:
+                    seed: SeedLike = seed_grid[s][i]
+                else:
+                    seed = np.random.SeedSequence([self.seed, s, i])
+                tasks.append(
+                    RunTask(
+                        spec=spec,
+                        k=problem.k,
+                        objective=problem.objective,
+                        seed=seed,
+                        spec_index=s,
+                        seed_index=i,
+                    )
+                )
+        return tasks
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        problem: PartitionProblem,
+        seed_grid: Sequence[Sequence[SeedLike]] | None = None,
+        on_record: Callable[[RunRecord], None] | None = None,
+    ) -> PortfolioResult:
+        """Run the whole grid and aggregate the records.
+
+        Records are returned sorted by grid coordinates regardless of
+        completion order; ``on_record`` fires as results arrive.  An
+        exception raised by ``on_record`` aborts the run — remaining
+        tasks are cancelled (pool tasks already executing still finish)
+        and the exception propagates to the caller.
+        """
+        tasks = self.make_tasks(problem, seed_grid)
+        deadline = Deadline(self.deadline)
+        if self.jobs == 1:
+            records = self._run_inprocess(problem, tasks, deadline, on_record)
+        else:
+            records = self._run_pool(problem, tasks, deadline, on_record)
+        records.sort(key=lambda r: (r.spec_index, r.seed_index))
+        return PortfolioResult(problem=problem, records=records)
+
+    def _run_inprocess(
+        self,
+        problem: PartitionProblem,
+        tasks: list[RunTask],
+        deadline: Deadline,
+        on_record: Callable[[RunRecord], None] | None,
+    ) -> list[RunRecord]:
+        records = []
+        for task in tasks:
+            if deadline.expired():
+                record = task.blank_record(
+                    error=f"cancelled: deadline {deadline.seconds}s expired"
+                )
+            else:
+                # Deep-copy mirrors the pool's pickling: the caller's spec
+                # and seed objects are never mutated by the run.
+                record = execute_task(copy.deepcopy(task), problem.graph)
+            if on_record is not None:
+                on_record(record)
+            records.append(record)
+        return records
+
+    def _run_pool(
+        self,
+        problem: PartitionProblem,
+        tasks: list[RunTask],
+        deadline: Deadline,
+        on_record: Callable[[RunRecord], None] | None,
+    ) -> list[RunRecord]:
+        graph = problem.graph
+        records = []
+        cancel_error = f"cancelled: deadline {deadline.seconds}s expired"
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(
+                graph.indptr,
+                graph.indices,
+                graph.weights,
+                graph.vertex_weights,
+            ),
+        ) as pool:
+            # Mirror the in-process executor: the deadline is checked
+            # before each task *starts*, so an already-expired deadline
+            # cancels everything instead of letting the first `jobs`
+            # tasks slip into the workers.
+            futures = {}
+            cancelled = []
+            for task in tasks:
+                if deadline.expired():
+                    cancelled.append(task.blank_record(error=cancel_error))
+                else:
+                    futures[pool.submit(_worker_run, task)] = task
+            pending = set(futures)
+
+            def emit(record: RunRecord) -> None:
+                if on_record is not None:
+                    try:
+                        on_record(record)
+                    except BaseException:
+                        # Abort requested by the callback: stop queued
+                        # work before the exception unwinds through the
+                        # pool's shutdown.
+                        for other in pending:
+                            other.cancel()
+                        raise
+                records.append(record)
+
+            for record in cancelled:
+                emit(record)
+            while pending:
+                # Before expiry, wake at the deadline to run the cancel
+                # sweep; after it, everything left is running and
+                # uncancellable, so just sleep until a task completes.
+                timeout = None
+                if deadline.seconds is not None and not deadline.expired():
+                    timeout = max(deadline.remaining(), 0.05)
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        # A dead worker (OOM kill, segfault) surfaces as
+                        # BrokenProcessPool on every in-flight future;
+                        # keep the completed records and report each
+                        # casualty as a failed entrant instead of
+                        # aborting the whole portfolio.
+                        record = futures[future].blank_record(
+                            error=f"{type(exc).__name__}: {exc}"
+                        )
+                    emit(record)
+                if deadline.expired() and pending:
+                    still_running = set()
+                    for future in pending:
+                        task = futures[future]
+                        if future.cancel():
+                            emit(task.blank_record(error=cancel_error))
+                        else:
+                            still_running.add(future)
+                    pending = still_running
+        return records

@@ -1,0 +1,99 @@
+"""The solver half of the engine API: *how* to partition.
+
+A :class:`SolverSpec` is a declarative recipe for one portfolio entrant.
+Normally it names a registry method plus constructor options and the
+engine instantiates a fresh partitioner per run (safe to ship across
+process boundaries); alternatively it can wrap an already-constructed
+partitioner object, which is how the bench harness adapts its
+``(label, partitioner)`` rows onto the engine without rebuilding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.registry import (
+    METAHEURISTICS,
+    budget_options,
+    canonical_method,
+    make_partitioner,
+)
+
+__all__ = ["SolverSpec"]
+
+
+@dataclass
+class SolverSpec:
+    """One entrant of a solver portfolio.
+
+    Attributes
+    ----------
+    method:
+        Registry name (aliases like ``annealing``/``ff`` accepted).
+    options:
+        Extra keyword arguments for the partitioner factory.
+    label:
+        Display name; defaults to the canonical method name.
+    partitioner:
+        Optional prebuilt partitioner.  When set, ``method``/``options``
+        are informational only and :meth:`build` returns it as-is.
+    """
+
+    method: str
+    options: dict[str, Any] = field(default_factory=dict)
+    label: str | None = None
+    partitioner: Any = None
+
+    def __post_init__(self) -> None:
+        if self.partitioner is None:
+            self.method = canonical_method(self.method)
+        if self.label is None:
+            self.label = self.method
+
+    @classmethod
+    def from_partitioner(cls, label: str, partitioner: Any) -> "SolverSpec":
+        """Wrap an existing partitioner object (bench-harness adapter)."""
+        method = getattr(partitioner, "name", type(partitioner).__name__)
+        return cls(method=method, label=label, partitioner=partitioner)
+
+    @classmethod
+    def for_method(
+        cls,
+        method: str,
+        objective: str | None = None,
+        time_budget: float | None = None,
+        **options: Any,
+    ) -> "SolverSpec":
+        """Build a spec with the standard budget/objective plumbing.
+
+        ``objective`` and ``time_budget`` are forwarded only to methods
+        that support them (the metaheuristics); the step/iteration caps
+        are lifted when a budget is given, exactly as the ``partition``
+        CLI subcommand always did.
+        """
+        key = canonical_method(method)
+        opts = dict(options)
+        opts.update(budget_options(key, time_budget))
+        if objective is not None and key in METAHEURISTICS:
+            opts["objective"] = objective
+        return cls(method=key, options=opts)
+
+    def build(self, k: int) -> Any:
+        """Instantiate (or return) the partitioner for ``k`` parts."""
+        if self.partitioner is not None:
+            return self.partitioner
+        return make_partitioner(self.method, k, **self.options)
+
+    def as_dict(self) -> dict:
+        """Spec metadata for JSON reports."""
+        return {
+            "method": self.method,
+            "label": self.label,
+            "options": {
+                key: value
+                for key, value in self.options.items()
+                if isinstance(value, (int, float, str, bool, type(None)))
+            },
+            "prebuilt": self.partitioner is not None,
+        }

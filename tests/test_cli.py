@@ -26,6 +26,30 @@ class TestAutoIo:
         assert back.num_vertices == 16
         assert back.num_edges == g.num_edges
 
+    def test_missing_file_is_graph_error(self, tmp_path):
+        from repro.common.exceptions import GraphError
+
+        with pytest.raises(GraphError, match="not found"):
+            read_graph_auto(tmp_path / "nope.graph")
+
+    def test_parse_error_names_supported_extensions(self, tmp_path):
+        from repro.common.exceptions import GraphError
+
+        bad = tmp_path / "g.xyz"
+        bad.write_text("this is not an edge list\n")
+        with pytest.raises(GraphError, match=r"\.graph, \.metis, \.json"):
+            read_graph_auto(bad)
+
+
+class TestTopLevel:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestPartitionCommand:
     def test_writes_assignment(self, graph_file, tmp_path, capsys):
@@ -56,6 +80,28 @@ class TestPartitionCommand:
         ])
         assert code == 0
         assert len(out.read_text().split()) == 36
+
+    def test_method_alias(self, graph_file, tmp_path):
+        out = tmp_path / "p.txt"
+        code = main([
+            "partition", str(graph_file), "-k", "4", "--method", "ml",
+            "-o", str(out),
+        ])
+        assert code == 0
+        assert len(out.read_text().split()) == 36
+
+    def test_multi_seed_parallel_restarts(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "p.txt"
+        code = main([
+            "partition", str(graph_file), "-k", "3",
+            "--method", "annealing", "--budget", "1",
+            "--seeds", "2", "--jobs", "2", "-o", str(out),
+        ])
+        assert code == 0
+        assert len(out.read_text().split()) == 36
+        err = capsys.readouterr().err
+        assert "best of 2 runs" in err
+        assert "mcut=" in err
 
 
 class TestEvaluateCommand:

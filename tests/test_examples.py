@@ -35,6 +35,15 @@ class TestExamples:
         assert "functional airspace blocks" in proc.stdout
         assert "flow kept inside blocks" in proc.stdout
 
+    def test_portfolio_atc(self):
+        proc = run_example(
+            "portfolio_atc.py", "--k", "8", "--seeds", "2", "--jobs", "2",
+            "--budget", "2", "--methods", "ff,ml",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "portfolio: 2 methods x 2 seeds" in proc.stdout
+        assert "winner:" in proc.stdout
+
     def test_mesh_load_balance(self):
         proc = run_example("mesh_load_balance.py")
         assert proc.returncode == 0, proc.stderr
