@@ -1,0 +1,108 @@
+"""pytest-benchmark wrappers over the perf microbenchmark suite.
+
+Run: ``pytest benchmarks/perf/bench_micro.py --benchmark-only``
+
+Each test times one optimized kernel through pytest-benchmark (so you
+get distribution statistics and ``--benchmark-compare``) and asserts the
+kernel agrees with its frozen reference implementation — a wrong kernel
+fails here no matter how fast it is.  The scale mirrors the tracked
+harness (``repro bench perf``): n≈20k by default, n≈2k with
+``REPRO_PERF_QUICK=1``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.perf import _noisy_strips, _unit_geometric
+from repro.partition.gains import GainTable
+from repro.partition.moves import boundary_vertices
+from repro.partition.partition import Partition
+from repro.partition.objectives import get_objective
+from repro.partition.reference import move_many_reference
+from repro.refine.fm import _candidates_from_rows, fm_refine
+from repro.refine.reference import fm_refine_reference
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") == "1"
+N = 2000 if QUICK else 20000
+K = 16
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = _unit_geometric(N, seed=1)
+    assignment = _noisy_strips(graph.num_vertices, K, seed=0)
+    return graph, assignment
+
+
+def test_fm_pass(benchmark, instance):
+    graph, assignment = instance
+    result = benchmark.pedantic(
+        lambda: fm_refine(Partition(graph, assignment.copy()), max_passes=1),
+        iterations=1, rounds=3,
+    )
+    p_ref = Partition(graph, assignment.copy())
+    ref_gain = fm_refine_reference(p_ref, max_passes=1)
+    p_opt = Partition(graph, assignment.copy())
+    fm_refine(p_opt, max_passes=1)
+    assert np.array_equal(p_opt.assignment, p_ref.assignment)
+    assert abs(result - ref_gain) < 1e-6
+
+
+def test_fm_gain_engine(benchmark, instance):
+    graph, assignment = instance
+    partition = Partition(graph, assignment.copy())
+    boundary = boundary_vertices(partition)
+    ideal = float(partition.vertex_weight.sum()) / K
+    max_w = max(1.10 * ideal, float(partition.vertex_weight.max()))
+    min_w = min(max(0.0, 0.80 * ideal), float(partition.vertex_weight.min()))
+
+    def engine():
+        table = GainTable(partition, None)
+        table.refresh(boundary, assume_unique=True)
+        return _candidates_from_rows(
+            partition, table.w_parts[boundary], boundary, max_w, min_w,
+            None, None,
+        )
+
+    gains, targets, valid = benchmark(engine)
+    assert valid.any()
+    benchmark.extra_info["boundary_vertices"] = int(boundary.shape[0])
+
+
+def test_move_many(benchmark, instance):
+    graph, assignment = instance
+    movers = np.flatnonzero(assignment == 0)[:-1]
+
+    def bulk():
+        p = Partition(graph, assignment.copy())
+        p.move_many(movers, 1)
+        return p
+
+    p_opt = benchmark(bulk)
+    p_ref = Partition(graph, assignment.copy())
+    move_many_reference(p_ref, movers, 1)
+    assert np.array_equal(p_opt.assignment, p_ref.assignment)
+    p_opt.check()
+
+
+def test_objective_delta(benchmark, instance):
+    graph, assignment = instance
+    partition = Partition(graph, assignment.copy())
+    obj = get_objective("mcut")
+    targets = np.arange(K)
+    rng = np.random.default_rng(0)
+    sample = rng.choice(graph.num_vertices, 256, replace=False)
+
+    deltas = benchmark(
+        lambda: [
+            obj.delta_move_targets(partition, int(v), targets)
+            for v in sample
+        ]
+    )
+    v0 = int(sample[0])
+    loop = [obj.delta_move(partition, v0, int(t)) for t in targets]
+    vec = deltas[0]
+    both_nan = np.isnan(loop) & np.isnan(vec)
+    assert np.all((np.asarray(loop) == vec) | both_nan)

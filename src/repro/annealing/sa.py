@@ -131,22 +131,29 @@ def anneal(
             if target == source:
                 order = np.argsort(partition.internal)
                 target = int(order[1]) if order.shape[0] > 1 else source
-        else:
-            # Cold: random connected part.
+            if target == source:
+                continue
             w_parts = partition.neighbor_part_weights(v)
-            w_parts[source] = 0.0
-            candidates = np.flatnonzero(w_parts > 0.0)
+        else:
+            # Cold: random connected part.  The aggregation is computed
+            # once and reused by the delta and the move below — the
+            # incremental-energy invariant (docs/performance.md) is that
+            # no step aggregates a neighbourhood twice.
+            w_parts = partition.neighbor_part_weights(v)
+            connected = w_parts > 0.0
+            connected[source] = False
+            candidates = np.flatnonzero(connected)
             if candidates.size == 0:
                 continue
             target = int(candidates[rng.integers(candidates.size)])
-        if target == source:
-            continue
-        delta = obj.delta_move(partition, v, target)
+        delta = obj.delta_move(partition, v, target, w_parts=w_parts)
         accept = delta <= 0.0
         if not accept and np.isfinite(delta):
             accept = math.exp(-delta / t) > rng.random()
         if accept:
-            partition.move(v, target, allow_empty_source=False)
+            partition.move(
+                v, target, allow_empty_source=False, w_parts=w_parts
+            )
             if np.isfinite(delta) and np.isfinite(energy):
                 energy += delta
             else:

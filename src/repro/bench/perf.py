@@ -1,0 +1,425 @@
+"""Hot-path microbenchmarks: the tracked perf-regression harness.
+
+Each record times an optimized kernel and, where a frozen reference
+implementation exists (:mod:`repro.partition.reference`,
+:mod:`repro.refine.reference`), the pre-vectorization baseline too — the
+resulting ``speedup`` is the number this and every future PR is held to.
+Results are verified (``matches_reference``) before they are timed, so a
+fast-but-wrong kernel fails the harness instead of flattering it.
+
+Benchmarks
+----------
+* ``fm_pass``         — one full FM pass (gain table + heap loop) vs the
+  per-vertex reference.  Sequence-pinned: the optimized pass must replay
+  the reference's exact move sequence (see ``docs/performance.md``), so
+  its speedup is bounded by the Python heap loop both share.
+* ``fm_gain_engine``  — the batched boundary-candidate kernel alone
+  (table build + masked argmax for every boundary vertex) vs the
+  per-vertex scan.  This is the raw gain-engine speedup.
+* ``move_many``       — bulk vertex relocation vs the one-``move()``-at-a-
+  time loop.
+* ``objective_delta`` — vectorized ``delta_move_targets`` over all
+  candidate targets vs a ``delta_move`` Python loop (mcut and cut).
+* ``coarsen_level``   — heavy-edge matching + contraction of one
+  multilevel level (no reference; absolute throughput).
+* ``ff_step``         — fusion–fission main-loop steps/second on a
+  community graph (no reference; absolute throughput).
+
+Run ``repro bench perf [--quick] [--json OUT]`` or
+``python -m repro.bench.perf``.  ``BENCH_PR4.json`` at the repo root is
+the committed trajectory snapshot for PR 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.generators import random_geometric_graph, weighted_caveman_graph
+
+__all__ = ["PerfRecord", "run_perf_suite", "format_perf_table", "main"]
+
+SCHEMA = "repro-bench-perf/v1"
+
+
+@dataclass
+class PerfRecord:
+    """One microbenchmark result row."""
+
+    name: str
+    n: int
+    m: int
+    k: int
+    reps: int
+    seconds: float
+    ops_per_second: float
+    unit: str
+    reference_seconds: float | None = None
+    speedup: float | None = None
+    matches_reference: bool | None = None
+    notes: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best (minimum) wall-clock of ``reps`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _unit_geometric(n: int, seed: int) -> Graph:
+    """Unit-weight geometric graph, average degree ~10 at any ``n``."""
+    radius = float(np.sqrt(10.0 / (np.pi * n)))
+    g, _ = random_geometric_graph(n, radius, seed=seed)
+    u, v, _ = g.edge_arrays()
+    return Graph.from_arrays(n, u, v)
+
+
+def _noisy_strips(n: int, k: int, seed: int) -> np.ndarray:
+    """Contiguous k-strip assignment with seeded random noise."""
+    a = (np.arange(n) * k // n).astype(np.int64)
+    rng = np.random.default_rng(seed)
+    noise = rng.choice(n, max(k, n // 32), replace=False)
+    a[noise] = rng.integers(0, k, noise.shape[0])
+    a[:k] = np.arange(k)  # keep ids compact
+    return a
+
+
+def _bench_fm_pass(graph: Graph, assignment, k, reps) -> PerfRecord:
+    from repro.partition.partition import Partition
+    from repro.refine.fm import fm_refine
+    from repro.refine.reference import fm_refine_reference
+
+    p_opt = Partition(graph, assignment.copy())
+    p_ref = Partition(graph, assignment.copy())
+    fm_refine(p_opt, max_passes=1)
+    fm_refine_reference(p_ref, max_passes=1)
+    matches = bool(np.array_equal(p_opt.assignment, p_ref.assignment))
+
+    sec = _best_of(
+        lambda: fm_refine(Partition(graph, assignment.copy()), max_passes=1),
+        reps,
+    )
+    ref = _best_of(
+        lambda: fm_refine_reference(
+            Partition(graph, assignment.copy()), max_passes=1
+        ),
+        reps,
+    )
+    return PerfRecord(
+        name="fm_pass",
+        n=graph.num_vertices, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=graph.num_vertices / sec,
+        unit="vertices/s",
+        reference_seconds=ref, speedup=ref / sec,
+        matches_reference=matches,
+        notes="sequence-pinned full pass; bounded by the shared heap loop",
+    )
+
+
+def _bench_fm_gain_engine(graph: Graph, assignment, k, reps) -> PerfRecord:
+    from repro.partition.gains import GainTable
+    from repro.partition.moves import boundary_vertices
+    from repro.partition.partition import Partition
+    from repro.refine.fm import _candidates_from_rows
+    from repro.refine.reference import _best_target as ref_best_target
+
+    partition = Partition(graph, assignment.copy())
+    boundary = boundary_vertices(partition)
+    ideal = float(partition.vertex_weight.sum()) / k
+    max_weight = max(1.10 * ideal, float(partition.vertex_weight.max()))
+    min_weight = min(max(0.0, 0.80 * ideal),
+                     float(partition.vertex_weight.min()))
+
+    def optimized():
+        table = GainTable(partition, None)
+        table.refresh(boundary, assume_unique=True)
+        return _candidates_from_rows(
+            partition, table.w_parts[boundary], boundary,
+            max_weight, min_weight, None, None,
+        )
+
+    def reference():
+        return [
+            ref_best_target(partition, int(v), max_weight, min_weight)
+            for v in boundary
+        ]
+
+    gains, targets, valid = optimized()
+    ref_cands = reference()
+    matches = True
+    for i, cand in enumerate(ref_cands):
+        if cand is None:
+            matches &= not bool(valid[i])
+        else:
+            matches &= bool(valid[i]) and cand == (
+                float(gains[i]), int(targets[i])
+            )
+
+    sec = _best_of(optimized, reps)
+    ref = _best_of(reference, reps)
+    return PerfRecord(
+        name="fm_gain_engine",
+        n=graph.num_vertices, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=boundary.shape[0] / sec,
+        unit="candidates/s",
+        reference_seconds=ref, speedup=ref / sec,
+        matches_reference=bool(matches),
+        notes=f"batched best-target for {boundary.shape[0]} boundary vertices",
+    )
+
+
+def _bench_move_many(graph: Graph, assignment, k, reps) -> PerfRecord:
+    from repro.partition.partition import Partition
+    from repro.partition.reference import move_many_reference
+
+    # A realistic bulk relocation: everything but one vertex of two parts
+    # (what fusion and `_coerce_to_k` merges amount to), multi-source.
+    part_a = np.flatnonzero(assignment == 0)[:-1]
+    part_b = np.flatnonzero(assignment == 2)[:-1]
+    movers = np.concatenate([part_a, part_b])
+
+    p_opt = Partition(graph, assignment.copy())
+    p_ref = Partition(graph, assignment.copy())
+    t_opt = p_opt.move_many(movers, 1)
+    t_ref = move_many_reference(p_ref, movers, 1)
+    p_opt.check()
+    matches = bool(
+        t_opt == t_ref and np.array_equal(p_opt.assignment, p_ref.assignment)
+    )
+
+    # Copy outside the clock so only the moves are timed.
+    base = Partition(graph, assignment.copy())
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(max(reps, 3)):
+            trial = base.copy()
+            t0 = time.perf_counter()
+            fn(trial)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    sec = timed(lambda p: p.move_many(movers, 1))
+    ref = timed(lambda p: move_many_reference(p, movers, 1))
+    return PerfRecord(
+        name="move_many",
+        n=graph.num_vertices, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=movers.shape[0] / sec,
+        unit="moves/s",
+        reference_seconds=ref, speedup=ref / sec,
+        matches_reference=matches,
+        notes=f"bulk relocation of {movers.shape[0]} vertices",
+    )
+
+
+def _bench_objective_delta(
+    graph: Graph, assignment, k, reps, objective: str
+) -> PerfRecord:
+    from repro.partition.objectives import get_objective
+    from repro.partition.partition import Partition
+
+    obj = get_objective(objective)
+    partition = Partition(graph, assignment.copy())
+    rng = np.random.default_rng(0)
+    sample = rng.choice(graph.num_vertices, min(512, graph.num_vertices),
+                        replace=False)
+    targets = np.arange(k)
+
+    def optimized():
+        return [
+            obj.delta_move_targets(partition, int(v), targets)
+            for v in sample
+        ]
+
+    def reference():
+        return [
+            [obj.delta_move(partition, int(v), int(t)) for t in targets]
+            for v in sample
+        ]
+
+    opt_out = np.array(optimized())
+    ref_out = np.array(reference())
+    both_nan = np.isnan(opt_out) & np.isnan(ref_out)
+    matches = bool(np.all((opt_out == ref_out) | both_nan))
+
+    sec = _best_of(optimized, reps)
+    ref = _best_of(reference, reps)
+    n_ops = sample.shape[0] * k
+    return PerfRecord(
+        name=f"objective_delta_{objective}",
+        n=graph.num_vertices, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=n_ops / sec,
+        unit="deltas/s",
+        reference_seconds=ref, speedup=ref / sec,
+        matches_reference=matches,
+        notes=f"all-target deltas for {sample.shape[0]} vertices",
+    )
+
+
+def _bench_coarsen_level(graph: Graph, reps) -> PerfRecord:
+    from repro.graph.coarsen import contract_graph
+    from repro.multilevel.matching import heavy_edge_matching
+
+    def level():
+        mate = heavy_edge_matching(graph, seed=0)
+        coarse_map = np.full(graph.num_vertices, -1, dtype=np.int64)
+        next_id = 0
+        order = np.arange(graph.num_vertices)
+        for v in order:
+            if coarse_map[v] < 0:
+                coarse_map[v] = next_id
+                coarse_map[mate[v]] = next_id
+                next_id += 1
+        contract_graph(graph, coarse_map)
+
+    sec = _best_of(level, reps)
+    return PerfRecord(
+        name="coarsen_level",
+        n=graph.num_vertices, m=graph.num_edges, k=0, reps=reps,
+        seconds=sec, ops_per_second=graph.num_vertices / sec,
+        unit="vertices/s",
+        notes="heavy-edge matching + contraction of one level",
+    )
+
+
+def _bench_ff_step(n: int, k: int, reps) -> PerfRecord:
+    from repro.fusionfission.energy import ScaledEnergy
+    from repro.fusionfission.core import fusion_fission_search
+
+    cave = 32
+    caves = max(2, min(n, 1536) // cave)
+    graph = weighted_caveman_graph(caves, cave)
+    steps = 200
+    energy = ScaledEnergy(graph.num_vertices, k, objective="mcut")
+
+    def run():
+        fusion_fission_search(graph, k, energy, max_steps=steps, seed=0)
+
+    sec = _best_of(run, reps)
+    return PerfRecord(
+        name="ff_step",
+        n=graph.num_vertices, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=steps / sec,
+        unit="steps/s",
+        notes=f"{steps} fusion-fission main-loop steps (incl. init)",
+    )
+
+
+def effective_params(n: int, reps: int, quick: bool) -> tuple[int, int]:
+    """The (n, reps) actually used — quick mode clamps both."""
+    if quick:
+        return min(n, 2000), min(reps, 2)
+    return n, reps
+
+
+def run_perf_suite(
+    n: int = 20000,
+    k: int = 16,
+    reps: int = 3,
+    seed: int = 1,
+    quick: bool = False,
+) -> list[PerfRecord]:
+    """Run every microbenchmark; returns the records in run order."""
+    n, reps = effective_params(n, reps, quick)
+    graph = _unit_geometric(n, seed)
+    assignment = _noisy_strips(graph.num_vertices, k, seed=0)
+    records = [
+        _bench_fm_pass(graph, assignment, k, reps),
+        _bench_fm_gain_engine(graph, assignment, k, reps),
+        _bench_move_many(graph, assignment, k, reps),
+        _bench_objective_delta(graph, assignment, k, reps, "mcut"),
+        _bench_objective_delta(graph, assignment, k, reps, "cut"),
+        _bench_coarsen_level(graph, reps),
+        _bench_ff_step(n, k, reps),
+    ]
+    return records
+
+
+def format_perf_table(records: list[PerfRecord]) -> str:
+    """Human-readable table of the perf records."""
+    header = (
+        f"{'Benchmark':<24} {'n':>7} {'ops/s':>12} {'opt [s]':>10} "
+        f"{'ref [s]':>10} {'speedup':>8} {'ok':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        ref = f"{r.reference_seconds:.4f}" if r.reference_seconds else "-"
+        spd = f"{r.speedup:.1f}x" if r.speedup else "-"
+        ok = {True: "yes", False: "NO", None: "-"}[r.matches_reference]
+        lines.append(
+            f"{r.name:<24} {r.n:>7} {r.ops_per_second:>12.0f} "
+            f"{r.seconds:>10.4f} {ref:>10} {spd:>8} {ok:>4}"
+        )
+    return "\n".join(lines)
+
+
+def perf_report(records: list[PerfRecord], config: dict) -> dict:
+    """JSON-serialisable report (the ``BENCH_*.json`` schema)."""
+    return {
+        "schema": SCHEMA,
+        "config": config,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": [r.as_dict() for r in records],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench perf",
+        description="hot-path microbenchmarks with reference baselines",
+    )
+    parser.add_argument("--n", type=int, default=20000,
+                        help="instance size (default 20000)")
+    parser.add_argument("--k", type=int, default=16, help="part count")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions; best is kept")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny instance for CI smoke (n<=2000)")
+    parser.add_argument("--json", default=None,
+                        help="write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    records = run_perf_suite(
+        n=args.n, k=args.k, reps=args.reps, seed=args.seed, quick=args.quick
+    )
+    n_used, reps_used = effective_params(args.n, args.reps, args.quick)
+    config = {
+        "n": n_used, "k": args.k, "reps": reps_used, "seed": args.seed,
+        "quick": args.quick,
+    }
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(perf_report(records, config), indent=1) + "\n"
+        )
+    print(format_perf_table(records))
+    bad = [r.name for r in records if r.matches_reference is False]
+    if bad:
+        print(f"error: kernels diverged from reference: {', '.join(bad)}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

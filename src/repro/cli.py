@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands, mirroring how Chaco/Metis are driven from the shell::
+Six subcommands, mirroring how Chaco/Metis are driven from the shell::
 
     repro partition INPUT -k 32 --method fusion-fission -o parts.txt
     repro portfolio INPUT -k 32 --methods ff,annealing --seeds 4 --jobs 4
     repro evaluate INPUT parts.txt
     repro generate atc -o core_area.graph
     repro convert INPUT OUTPUT
+    repro bench perf --json BENCH.json
 
 (``python -m repro`` is equivalent to the ``repro`` console script.)
 
@@ -23,6 +24,10 @@ Five subcommands, mirroring how Chaco/Metis are driven from the shell::
 * ``generate`` writes a synthetic instance (``atc``, ``grid``, ``caveman``,
   ``geometric``) in METIS format.
 * ``convert`` transcodes between the supported graph formats by extension.
+* ``bench perf`` runs the hot-path microbenchmarks (optimized vs frozen
+  reference kernels) and writes the tracked ``BENCH_*.json`` trajectory;
+  the paper-reproduction suites stay at ``python -m repro.bench.table1``
+  / ``figure1`` / ``ksweep``.
 """
 
 from __future__ import annotations
@@ -256,6 +261,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Each suite owns its parser (flags, defaults, help); the CLI
+    # forwards everything after the suite name verbatim so they can
+    # never drift apart.
+    rest = args.bench_args
+    if rest and rest[0] == "perf":
+        from repro.bench.perf import main as perf_main
+
+        return perf_main(rest[1:])
+    raise ReproError(
+        f"unknown bench suite {rest[0] if rest else '(none)'!r}; "
+        "available: perf (paper suites: python -m repro.bench.table1 …)"
+    )
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     graph = read_graph_auto(args.input)
     write_graph_auto(graph, args.output)
@@ -351,6 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("input")
     c.add_argument("output")
     c.set_defaults(func=_cmd_convert)
+
+    b = sub.add_parser(
+        "bench", help="run benchmark suites (currently: perf)"
+    )
+
+    b.add_argument(
+        "bench_args", nargs=argparse.REMAINDER,
+        help="suite name + its options, forwarded verbatim "
+             "(e.g. `perf --quick --json OUT`; `perf --help` for options)",
+    )
+    b.set_defaults(func=_cmd_bench)
     return parser
 
 

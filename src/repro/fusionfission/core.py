@@ -188,7 +188,8 @@ def fusion_fission_search(
             graph, k_target, laws, energy, seed=rng
         )
     current = initial
-    current_energy = energy.value(current)
+    current_raw = energy.raw(current)
+    current_energy = energy.scale_raw(current_raw, current.num_parts)
 
     best = current.copy()
     best_energy = current_energy
@@ -196,10 +197,9 @@ def fusion_fission_search(
     best_raw_at_target = float("inf")
     best_by_k: dict[int, float] = {}
 
-    def record(partition: Partition, scaled: float) -> None:
+    def record(partition: Partition, scaled: float, raw: float) -> None:
         nonlocal best, best_energy, best_at_target, best_raw_at_target
         k = partition.num_parts
-        raw = energy.raw(partition)
         if raw < best_by_k.get(k, float("inf")):
             best_by_k[k] = raw
         if scaled < best_energy - 1e-12:
@@ -211,7 +211,7 @@ def fusion_fission_search(
             if on_improvement is not None:
                 on_improvement(raw, best_at_target)
 
-    record(current, current_energy)
+    record(current, current_energy, current_raw)
 
     t = schedule.initial()
     steps = 0
@@ -258,11 +258,15 @@ def fusion_fission_search(
             for nucleon in ejected:
                 nucleon_fusion(current, int(nucleon))
 
-        new_energy = energy.value(current)
+        # One raw-objective evaluation per step; the scaled energy and the
+        # best-by-k bookkeeping both derive from it (identical floats to
+        # calling energy.value + energy.raw separately).
+        new_raw = energy.raw(current)
+        new_energy = energy.scale_raw(new_raw, current.num_parts)
         if law_key is not None:
             laws.update(*law_key, improved=new_energy < current_energy)
         current_energy = new_energy
-        record(current, current_energy)
+        record(current, current_energy, new_raw)
 
         t = schedule.decrease(t)
         if schedule.too_low(t):
@@ -297,16 +301,14 @@ def _coerce_to_k(partition: Partition, k_target: int, rng) -> Partition:
     """
     from repro.percolation.percolation import percolation_bisect
 
+    from repro.fusionfission.operators import _part_connection_weights
+
     while partition.num_parts > k_target:
         # Merge the pair with the strongest connection among pairs touching
-        # the smallest atom (cheap heuristic, preserves quality).
+        # the smallest atom (cheap heuristic, preserves quality).  The
+        # connection profile comes from one batched CSR gather.
         small = int(np.argmin(partition.size))
-        weights = np.zeros(partition.num_parts)
-        g = partition.graph
-        a = partition.assignment
-        for v in partition.members(small):
-            nbrs, wts = g.neighbors(int(v))
-            np.add.at(weights, a[nbrs], wts)
+        weights = _part_connection_weights(partition, small)
         weights[small] = -1.0
         partner = int(np.argmax(weights))
         if weights[partner] <= 0.0:

@@ -125,8 +125,17 @@ class ScaledEnergy:
 
     def value(self, partition: Partition) -> float:
         """Scaled energy of ``partition`` (lower is better)."""
-        k = partition.num_parts
-        raw = self.objective.value(partition)
+        return self.scale_raw(
+            self.objective.value(partition), partition.num_parts
+        )
+
+    def scale_raw(self, raw: float, k: int) -> float:
+        """Scaled energy from an already-known raw objective value.
+
+        The search loop evaluates the raw objective once per step and
+        derives the scaled energy from it (identical arithmetic to
+        :meth:`value`), instead of paying two objective evaluations.
+        """
         per_atom = raw / k
         return per_atom / self.scale.binding_for_parts(k)
 

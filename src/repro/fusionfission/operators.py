@@ -37,14 +37,19 @@ __all__ = [
 
 
 def _part_connection_weights(partition: Partition, part: int) -> np.ndarray:
-    """``(k,)`` total edge weight between ``part`` and every other part."""
-    k = partition.num_parts
-    weights = np.zeros(k)
+    """``(k,)`` total edge weight between ``part`` and every other part.
+
+    One batched CSR gather + ``bincount`` over every member's arcs; the
+    per-cell accumulation order matches the old per-vertex loop exactly
+    (both walk the concatenated slices left to right), so results are
+    bit-identical on any weights.
+    """
     g = partition.graph
-    assignment = partition.assignment
-    for v in partition.members(part):
-        nbrs, wts = g.neighbors(int(v))
-        np.add.at(weights, assignment[nbrs], wts)
+    _, nbrs, wts = g.neighbors_many(partition.members(part))
+    weights = np.bincount(
+        partition.assignment[nbrs], weights=wts,
+        minlength=partition.num_parts,
+    )
     weights[part] = 0.0
     return weights
 
@@ -94,15 +99,38 @@ def weakest_members(
     count = min(count, members.shape[0] - 1)
     if count <= 0:
         return np.empty(0, dtype=np.int64)
-    g = partition.graph
-    assignment = partition.assignment
-    binding = np.empty(members.shape[0])
-    for i, v in enumerate(members):
-        nbrs, wts = g.neighbors(int(v))
-        own = assignment[nbrs] == part
-        binding[i] = float(wts[own].sum()) - float(wts[~own].sum())
+    binding = _binding_of(partition, members, part)
     order = np.argsort(binding)
     return members[order[:count]].astype(np.int64)
+
+
+def _binding_of(
+    partition: Partition, vertices: np.ndarray, part: int | None = None
+) -> np.ndarray:
+    """Per-vertex binding: own-part edge weight minus leaving edge weight.
+
+    ``part=None`` uses each vertex's own part.  Batched segment sums when
+    weight arithmetic is exact (integral weights); the legacy per-vertex
+    accumulation order otherwise, so seeded runs stay ulp-identical.
+    """
+    g = partition.graph
+    assignment = partition.assignment
+    if g.has_integral_weights():
+        rows, nbrs, wts = g.neighbors_many(vertices)
+        own_part = (
+            np.full(rows.shape, part)
+            if part is not None
+            else assignment[vertices][rows]
+        )
+        own = assignment[nbrs] == own_part
+        signed = np.where(own, wts, -wts)
+        return np.bincount(rows, weights=signed, minlength=vertices.shape[0])
+    binding = np.empty(vertices.shape[0])
+    for i, v in enumerate(vertices):
+        nbrs, wts = g.neighbors(int(v))
+        own = assignment[nbrs] == (part if part is not None else assignment[v])
+        binding[i] = float(wts[own].sum()) - float(wts[~own].sum())
+    return binding
 
 
 def nucleon_fusion(partition: Partition, nucleon: int, objective=None) -> bool:
@@ -121,20 +149,24 @@ def nucleon_fusion(partition: Partition, nucleon: int, objective=None) -> bool:
     if partition.size[source] <= 1:
         return False
     w_parts = partition.neighbor_part_weights(nucleon)
-    w_parts[source] = 0.0
+    connected = w_parts > 0.0
+    connected[source] = False
     if objective is None:
-        target = int(np.argmax(w_parts))
-        if w_parts[target] <= 0.0:
-            return False
-    else:
-        candidates = np.flatnonzero(w_parts > 0.0)
+        candidates = np.flatnonzero(connected)
         if candidates.size == 0:
             return False
-        deltas = np.array(
-            [objective.delta_move(partition, nucleon, int(t)) for t in candidates]
+        target = int(candidates[np.argmax(w_parts[candidates])])
+    else:
+        candidates = np.flatnonzero(connected)
+        if candidates.size == 0:
+            return False
+        # One vectorized delta evaluation over every connected atom,
+        # reusing the aggregation already in hand — no per-target loop.
+        deltas = objective.delta_move_targets(
+            partition, nucleon, candidates, w_parts=w_parts
         )
         target = int(candidates[np.argmin(deltas)])
-    partition.move(nucleon, target, allow_empty_source=False)
+    partition.move(nucleon, target, allow_empty_source=False, w_parts=w_parts)
     return True
 
 
@@ -236,12 +268,6 @@ def fission_step(
     )
     if candidates.size > eject:
         # Keep the globally weakest `eject` of the merged candidate pool.
-        g = partition.graph
-        a = partition.assignment
-        binding = np.empty(candidates.shape[0])
-        for i, v in enumerate(candidates):
-            nbrs, wts = g.neighbors(int(v))
-            own = a[nbrs] == a[v]
-            binding[i] = float(wts[own].sum()) - float(wts[~own].sum())
+        binding = _binding_of(partition, candidates)
         candidates = candidates[np.argsort(binding)[:eject]]
     return candidates.astype(np.int64), (FISSION, size, eject)

@@ -55,9 +55,11 @@ def contract_graph(graph: Graph, coarse_map: np.ndarray) -> tuple[Graph, np.ndar
     if not present.all():
         raise GraphError("coarse ids must be contiguous 0..nc-1")
 
-    # Coarse vertex weights: sum of constituent fine vertex weights.
-    coarse_vw = np.zeros(nc, dtype=np.float64)
-    np.add.at(coarse_vw, coarse_map, graph.vertex_weights)
+    # Coarse vertex weights: sum of constituent fine vertex weights
+    # (bincount: same accumulation order as np.add.at, much faster).
+    coarse_vw = np.bincount(
+        coarse_map, weights=graph.vertex_weights, minlength=nc
+    ).astype(np.float64)
 
     u, v, w = graph.edge_arrays()
     cu = coarse_map[u]
@@ -71,8 +73,9 @@ def contract_graph(graph: Graph, coarse_map: np.ndarray) -> tuple[Graph, np.ndar
     hi = np.maximum(cu, cv)
     key = lo * np.int64(nc) + hi
     uniq, inverse = np.unique(key, return_inverse=True)
-    merged_w = np.zeros(uniq.shape[0], dtype=np.float64)
-    np.add.at(merged_w, inverse, w)
+    merged_w = np.bincount(
+        inverse, weights=w, minlength=uniq.shape[0]
+    ).astype(np.float64)
     coarse = Graph.from_arrays(
         nc,
         (uniq // nc).astype(np.int64),

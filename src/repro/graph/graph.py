@@ -17,7 +17,23 @@ import numpy as np
 
 from repro.common.exceptions import GraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "float_values_are_integral"]
+
+
+def float_values_are_integral(values: np.ndarray) -> bool:
+    """True when float64 add/subtract of these values is exact.
+
+    Holds when every value is an integer and the total stays below 2^52
+    (integer float64 arithmetic is exact in that range).  The single
+    definition of the exactness rule the bulk kernels gate on — for edge
+    weights via the cached :meth:`Graph.has_integral_weights`, for vertex
+    weights directly.
+    """
+    if values.size == 0:
+        return True
+    return bool(
+        float(values.sum()) < 2.0**52 and np.all(values == np.rint(values))
+    )
 
 
 class Graph:
@@ -50,7 +66,15 @@ class Graph:
     convenient construction from an edge list.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "vertex_weights", "_degree_cache")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "vertex_weights",
+        "_degree_cache",
+        "_owner_cache",
+        "_integral_cache",
+    )
 
     def __init__(
         self,
@@ -68,6 +92,8 @@ class Graph:
             vertex_weights = np.ones(n, dtype=np.float64)
         self.vertex_weights = np.ascontiguousarray(vertex_weights, dtype=np.float64)
         self._degree_cache: np.ndarray | None = None
+        self._owner_cache: np.ndarray | None = None
+        self._integral_cache: bool | None = None
         if validate:
             self._validate()
 
@@ -203,7 +229,7 @@ class Graph:
             if np.any(self.weights < 0):
                 raise GraphError("edge weights must be non-negative")
         # No self-loops.
-        owner = np.repeat(np.arange(n), np.diff(self.indptr))
+        owner = self.arc_owners()
         if np.any(owner == self.indices):
             raise GraphError("self-loops are not allowed")
         # Symmetry check: the multiset of (min,max,w) arcs must pair up.
@@ -248,17 +274,44 @@ class Graph:
         if self._degree_cache is None:
             n = self.num_vertices
             if self.indices.size:
-                owner = np.repeat(
-                    np.arange(n, dtype=np.int64), np.diff(self.indptr)
-                )
                 self._degree_cache = np.bincount(
-                    owner, weights=self.weights, minlength=n
+                    self.arc_owners(), weights=self.weights, minlength=n
                 ).astype(np.float64)
             else:
                 self._degree_cache = np.zeros(n, dtype=np.float64)
         if v is None:
             return self._degree_cache
         return float(self._degree_cache[v])
+
+    def has_integral_weights(self) -> bool:
+        """True when float64 add/subtract of the edge weights is exact.
+
+        Holds in the common unweighted/integer-weight case (see
+        :func:`float_values_are_integral`).  Bulk kernels use this to
+        decide between order-free vectorized accumulation (bit-exact for
+        integers regardless of summation order) and legacy-order paths
+        that preserve ulp-for-ulp compatibility on arbitrary floats.
+        Cached; the graph is immutable.
+        """
+        if self._integral_cache is None:
+            self._integral_cache = float_values_are_integral(self.weights)
+        return self._integral_cache
+
+    def arc_owners(self) -> np.ndarray:
+        """``(2m,)`` owner vertex of every directed arc, aligned with
+        :attr:`indices` (cached — the graph is immutable).
+
+        ``arc_owners()[i]`` is the vertex whose neighbour list contains
+        ``indices[i]``; every O(m) sweep (boundary detection, partition
+        recomputation) reuses this instead of re-materialising
+        ``np.repeat(arange(n), diff(indptr))``.
+        """
+        if self._owner_cache is None:
+            self._owner_cache = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64),
+                np.diff(self.indptr),
+            )
+        return self._owner_cache
 
     def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
         """Views of the neighbour ids and edge weights of vertex ``v``.
@@ -274,6 +327,50 @@ class Graph:
     def neighbor_ids(self, v: int) -> np.ndarray:
         """View of the neighbour ids of vertex ``v``."""
         return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def neighbors_many(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather the CSR slices of several vertices in one shot.
+
+        The batched counterpart of :meth:`neighbors`: one fancy-indexing
+        pass replaces a Python loop of per-vertex slice reads, which is
+        what makes the bulk partition operations and the gain engine
+        array-level.
+
+        Parameters
+        ----------
+        vertices:
+            ``(b,)`` int array of vertex ids (duplicates allowed; each
+            occurrence contributes its full slice).
+
+        Returns
+        -------
+        (rows, nbrs, wts):
+            Parallel arrays over all arcs of the requested vertices, in
+            input order: ``rows[i]`` is the *position in `vertices`* that
+            arc ``i`` belongs to, ``nbrs[i]``/``wts[i]`` the neighbour id
+            and edge weight.  Within one vertex the arcs keep CSR
+            (sorted-neighbour) order, so per-vertex reductions over this
+            layout are bit-identical to reductions over
+            :meth:`neighbors`.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        rows = np.repeat(
+            np.arange(vertices.shape[0], dtype=np.int64), counts
+        )
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return rows, empty, np.empty(0, dtype=np.float64)
+        # Global arc index: per-row arange offset back to each CSR start.
+        offsets = np.empty(vertices.shape[0], dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(counts[:-1], out=offsets[1:])
+        idx = np.arange(total, dtype=np.int64) - offsets[rows] + starts[rows]
+        return rows, self.indices[idx], self.weights[idx]
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge ``(u, v)``; 0.0 if the edge is absent.
@@ -302,9 +399,7 @@ class Graph:
 
     def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Undirected edge list as parallel arrays ``(u, v, w)`` with u < v."""
-        owner = np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
-        )
+        owner = self.arc_owners()
         mask = owner < self.indices
         return owner[mask], self.indices[mask], self.weights[mask]
 
@@ -329,7 +424,7 @@ class Graph:
         n = self.num_vertices
         local = np.full(n, -1, dtype=np.int64)
         local[vertices] = np.arange(vertices.shape[0], dtype=np.int64)
-        owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        owner = self.arc_owners()
         keep = (local[owner] >= 0) & (local[self.indices] >= 0)
         src = local[owner[keep]]
         dst = local[self.indices[keep]]

@@ -15,6 +15,7 @@ metaheuristic inner loops.
 """
 
 from repro.partition.partition import Partition
+from repro.partition.gains import GainTable
 from repro.partition.objectives import (
     Objective,
     CutObjective,
@@ -33,6 +34,7 @@ from repro.partition.metrics import PartitionReport, evaluate_partition
 
 __all__ = [
     "Partition",
+    "GainTable",
     "Objective",
     "CutObjective",
     "NcutObjective",

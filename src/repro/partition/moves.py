@@ -35,10 +35,13 @@ def move_gain_cut(partition: Partition, v: int, target: int) -> float:
 def boundary_vertices(partition: Partition) -> np.ndarray:
     """Vertices with at least one neighbour in a different part.
 
-    Vectorised over the whole CSR structure: O(n + m).
+    Vectorised over the whole CSR structure: O(m) — the arc-owner array
+    comes from the graph's immutable cache
+    (:meth:`~repro.graph.Graph.arc_owners`), so repeated calls (one per
+    FM pass) no longer re-materialise the O(m) ``np.repeat``.
     """
     g = partition.graph
     a = partition.assignment
-    owner = np.repeat(np.arange(g.num_vertices, dtype=np.int64), np.diff(g.indptr))
+    owner = g.arc_owners()
     crossing = a[owner] != a[g.indices]
     return np.unique(owner[crossing])

@@ -43,11 +43,14 @@ def _safe_ratio(cut: np.ndarray | float, denom: np.ndarray | float):
     """``cut/denom`` with the 0/0 -> 0 and x/0 -> inf conventions."""
     cut = np.asarray(cut, dtype=np.float64)
     denom = np.asarray(denom, dtype=np.float64)
-    out = np.where(
-        denom > 0.0,
-        np.divide(cut, np.where(denom > 0.0, denom, 1.0)),
-        np.where(cut > 0.0, np.inf, 0.0),
-    )
+    with np.errstate(over="ignore"):
+        # Overflow to inf on a denormal-tiny denominator is the same
+        # "unboundedly bad part" outcome as the x/0 -> inf convention.
+        out = np.where(
+            denom > 0.0,
+            np.divide(cut, np.where(denom > 0.0, denom, 1.0)),
+            np.where(cut > 0.0, np.inf, 0.0),
+        )
     return out
 
 
@@ -65,13 +68,21 @@ class Objective(ABC):
     def part_terms(self, partition: Partition) -> np.ndarray:
         """``(k,)`` array of per-part contributions (summing to ``value``)."""
 
-    def delta_move(self, partition: Partition, v: int, target: int) -> float:
+    def delta_move(
+        self,
+        partition: Partition,
+        v: int,
+        target: int,
+        w_parts: np.ndarray | None = None,
+    ) -> float:
         """Exact objective change if vertex ``v`` moved to part ``target``.
 
         Positive means the move would worsen (increase) the objective.
         The default implementation recomputes the source/target part terms
         from the O(deg(v)) neighbour aggregation; subclasses may override
-        with something cheaper.
+        with something cheaper.  Callers that already hold
+        ``partition.neighbor_part_weights(v)`` pass it as ``w_parts``
+        (never mutated) to skip the aggregation.
         """
         source = partition.part_of(v)
         if source == target:
@@ -80,7 +91,8 @@ class Objective(ABC):
             raise ConfigurationError(
                 f"target part {target} out of range (k={partition.num_parts})"
             )
-        w_parts = partition.neighbor_part_weights(v)
+        if w_parts is None:
+            w_parts = partition.neighbor_part_weights(v)
         deg = float(partition.graph.degree(v))
         w_s = float(w_parts[source])
         w_t = float(w_parts[target])
@@ -88,17 +100,103 @@ class Objective(ABC):
         cut_t = float(partition.cut[target])
         int_s = float(partition.internal[source])
         int_t = float(partition.internal[target])
-        new_cut_s = cut_s + w_s - (deg - w_s)
-        new_cut_t = cut_t + (deg - w_t) - w_t
+        # Parenthesized exactly like Partition.move's in-place updates, so
+        # the predicted terms equal the post-move bookkeeping bit for bit
+        # (left-to-right association differs under cancellation, and Mcut
+        # amplifies a 1e-20 residue in a near-zero cut to an O(1) error).
+        new_cut_s = cut_s + (w_s - (deg - w_s))
+        new_cut_t = cut_t + ((deg - w_t) - w_t)
         new_int_s = int_s - w_s
         new_int_t = int_t + w_t
         before = self._term(cut_s, int_s) + self._term(cut_t, int_t)
         after = self._term(new_cut_s, new_int_s) + self._term(new_cut_t, new_int_t)
         return after - before
 
+    def delta_move_targets(
+        self,
+        partition: Partition,
+        v: int,
+        targets: np.ndarray,
+        w_parts: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact objective change of ``v → t`` for every ``t`` in
+        ``targets``, vectorized.
+
+        One neighbour aggregation serves all candidate targets — the
+        array-level replacement for looping :meth:`delta_move` (used by
+        fusion–fission's nucleon routing, which scores every connected
+        atom).  Entries where ``t`` equals ``v``'s own part are 0.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        source = partition.part_of(v)
+        if w_parts is None:
+            w_parts = partition.neighbor_part_weights(v)
+        deg = float(partition.graph.degree(v))
+        w_s = float(w_parts[source])
+        cut_s = float(partition.cut[source])
+        int_s = float(partition.internal[source])
+        # Same association as Partition.move / scalar delta_move (see
+        # the comment there): predicted terms match the bookkeeping.
+        new_cut_s = cut_s + (w_s - (deg - w_s))
+        new_int_s = int_s - w_s
+        w_t = w_parts[targets]
+        cut_t = partition.cut[targets]
+        int_t = partition.internal[targets]
+        with np.errstate(invalid="ignore"):
+            # inf - inf -> nan is the documented degenerate-part outcome,
+            # matching the scalar delta_move arithmetic; no warning.
+            before = self._term(cut_s, int_s) + self._terms(cut_t, int_t)
+            after = self._term(new_cut_s, new_int_s) + self._terms(
+                cut_t + ((deg - w_t) - w_t), int_t + w_t
+            )
+            delta = after - before
+        delta[targets == source] = 0.0
+        return delta
+
+    def delta_bulk(
+        self, partition: Partition, vertices: np.ndarray, target: int
+    ) -> float:
+        """Exact objective change if all ``vertices`` moved to ``target``.
+
+        Built on :meth:`Partition.bulk_move_stats
+        <repro.partition.Partition.bulk_move_stats>`: one batched arc
+        classification yields every affected part's new ``(cut, W)`` pair,
+        so the cost is O(Σ deg of the moved set + k) regardless of how
+        many parts the move touches.  Parts the move would empty
+        contribute their end-state term (0 for all three paper
+        objectives).
+        """
+        movers, d_cut, d_int = partition.bulk_move_stats(vertices, target)
+        if movers.size == 0:
+            return 0.0
+        src_counts = np.bincount(
+            partition.assignment[movers], minlength=partition.num_parts
+        )
+        emptied = (src_counts > 0) & (partition.size - src_counts == 0)
+        touched = np.flatnonzero(
+            (d_cut != 0.0) | (d_int != 0.0) | (src_counts > 0)
+        )
+        cut_after = partition.cut[touched] + d_cut[touched]
+        int_after = partition.internal[touched] + d_int[touched]
+        # A drained part leaves the partition; clamp float residue so its
+        # end-state term is an exact 0, not cut~1e-16 / W~0 garbage.
+        gone = emptied[touched]
+        cut_after[gone] = 0.0
+        int_after[gone] = 0.0
+        with np.errstate(invalid="ignore"):
+            before = self._terms(
+                partition.cut[touched], partition.internal[touched]
+            )
+            after = self._terms(cut_after, int_after)
+            return float(after.sum() - before.sum())
+
     @abstractmethod
     def _term(self, cut: float, internal: float) -> float:
         """Per-part contribution from its (cut, W) pair."""
+
+    @abstractmethod
+    def _terms(self, cut: np.ndarray, internal: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_term` over parallel (cut, W) arrays."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -118,7 +216,16 @@ class CutObjective(Objective):
     def _term(self, cut: float, internal: float) -> float:
         return cut
 
-    def delta_move(self, partition: Partition, v: int, target: int) -> float:
+    def _terms(self, cut: np.ndarray, internal: np.ndarray) -> np.ndarray:
+        return np.asarray(cut, dtype=np.float64)
+
+    def delta_move(
+        self,
+        partition: Partition,
+        v: int,
+        target: int,
+        w_parts: np.ndarray | None = None,
+    ) -> float:
         # Cheaper closed form: only edges incident to v change status.
         source = partition.part_of(v)
         if source == target:
@@ -127,10 +234,26 @@ class CutObjective(Objective):
             raise ConfigurationError(
                 f"target part {target} out of range (k={partition.num_parts})"
             )
-        w_parts = partition.neighbor_part_weights(v)
+        if w_parts is None:
+            w_parts = partition.neighbor_part_weights(v)
         # Each newly-cut edge adds 2 (counted from both sides), each healed
         # edge removes 2.
         return 2.0 * (float(w_parts[source]) - float(w_parts[target]))
+
+    def delta_move_targets(
+        self,
+        partition: Partition,
+        v: int,
+        targets: np.ndarray,
+        w_parts: np.ndarray | None = None,
+    ) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.int64)
+        source = partition.part_of(v)
+        if w_parts is None:
+            w_parts = partition.neighbor_part_weights(v)
+        delta = 2.0 * (float(w_parts[source]) - w_parts[targets])
+        delta[targets == source] = 0.0
+        return delta
 
 
 class NcutObjective(Objective):
@@ -144,15 +267,16 @@ class NcutObjective(Objective):
         )
 
     def part_terms(self, partition: Partition) -> np.ndarray:
-        return np.asarray(
-            _safe_ratio(partition.cut, partition.cut + partition.internal)
-        )
+        return self._terms(partition.cut, partition.internal)
 
     def _term(self, cut: float, internal: float) -> float:
         denom = cut + internal
         if denom <= 0.0:
             return 0.0 if cut <= 0.0 else float("inf")
         return cut / denom
+
+    def _terms(self, cut: np.ndarray, internal: np.ndarray) -> np.ndarray:
+        return _safe_ratio(cut, np.asarray(cut) + np.asarray(internal))
 
 
 class McutObjective(Objective):
@@ -164,12 +288,15 @@ class McutObjective(Objective):
         return float(_safe_ratio(partition.cut, partition.internal).sum())
 
     def part_terms(self, partition: Partition) -> np.ndarray:
-        return np.asarray(_safe_ratio(partition.cut, partition.internal))
+        return self._terms(partition.cut, partition.internal)
 
     def _term(self, cut: float, internal: float) -> float:
         if internal <= 0.0:
             return 0.0 if cut <= 0.0 else float("inf")
         return cut / internal
+
+    def _terms(self, cut: np.ndarray, internal: np.ndarray) -> np.ndarray:
+        return _safe_ratio(cut, internal)
 
 
 _REGISTRY: dict[str, type[Objective]] = {

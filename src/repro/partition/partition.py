@@ -98,8 +98,7 @@ class Partition:
         self.vertex_weight = np.bincount(
             a, weights=g.vertex_weights, minlength=k
         ).astype(np.float64)
-        owner = np.repeat(np.arange(g.num_vertices, dtype=np.int64),
-                          np.diff(g.indptr))
+        owner = g.arc_owners()
         same = a[owner] == a[g.indices]
         # Internal edges appear twice in the directed arc list -> w/2 each.
         self.internal = np.bincount(
@@ -171,13 +170,27 @@ class Partition:
     # ------------------------------------------------------------------
     # Vertex move — O(deg(v))
     # ------------------------------------------------------------------
-    def move(self, v: int, target: int, allow_empty_source: bool = True) -> int:
+    def move(
+        self,
+        v: int,
+        target: int,
+        allow_empty_source: bool = True,
+        w_parts: np.ndarray | None = None,
+    ) -> int:
         """Move vertex ``v`` to part ``target``, updating all bookkeeping.
 
         If the move empties the source part, the part is removed and the
         last part id is relabelled into the hole (unless
         ``allow_empty_source=False``, which raises instead).  Moving a
         vertex to its own part is a no-op.
+
+        Parameters
+        ----------
+        w_parts:
+            Optional precomputed :meth:`neighbor_part_weights` of ``v``
+            (not mutated).  Hot loops that already aggregated ``v``'s
+            neighbourhood (gain tables, annealing deltas) pass it to skip
+            the second O(deg) aggregation inside the move.
 
         Returns
         -------
@@ -195,7 +208,8 @@ class Partition:
             raise PartitionError(
                 f"moving vertex {v} would empty part {source}"
             )
-        w_parts = self.neighbor_part_weights(v)
+        if w_parts is None:
+            w_parts = self.neighbor_part_weights(v)
         deg = float(self.graph.degree(v))
         w_s = float(w_parts[source])
         w_t = float(w_parts[target])
@@ -221,13 +235,133 @@ class Partition:
                 return source
         return target
 
+    def bulk_move_stats(
+        self, vertices: np.ndarray, target: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Aggregate bookkeeping deltas of moving ``vertices`` to ``target``.
+
+        The shared kernel behind the vectorized :meth:`move_many` and
+        :meth:`Objective.delta_bulk
+        <repro.partition.objectives.Objective.delta_bulk>`: one batched
+        CSR gather classifies every arc incident to the moved set instead
+        of per-vertex Python moves.  Nothing is mutated.
+
+        Returns
+        -------
+        (movers, d_cut, d_internal):
+            ``movers`` — deduplicated vertices not already in ``target``
+            (the ones a move would actually relocate); ``d_cut`` /
+            ``d_internal`` — ``(k,)`` float arrays such that after the
+            bulk move ``cut + d_cut`` and ``internal + d_internal`` hold
+            (entries of parts the move empties end at ~0).
+        """
+        self._check_part(target)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        g = self.graph
+        if vertices.size:
+            lo, hi = int(vertices.min()), int(vertices.max())
+            if lo < 0 or hi >= g.num_vertices:
+                raise PartitionError(
+                    f"vertex id out of range 0..{g.num_vertices - 1}: "
+                    f"{lo if lo < 0 else hi}"
+                )
+        if vertices.size <= 1 or bool(np.all(np.diff(vertices) > 0)):
+            movers = vertices  # already sorted-unique (flatnonzero etc.)
+        else:
+            movers = np.unique(vertices)
+        movers = movers[self.assignment[movers] != target]
+        k = self._num_parts
+        d_cut = np.zeros(k, dtype=np.float64)
+        d_int = np.zeros(k, dtype=np.float64)
+        if movers.size == 0:
+            return movers, d_cut, d_int
+        a = self.assignment
+        rows, nbrs, wts = g.neighbors_many(movers)
+        arc_src = a[movers][rows]
+        nbr_old = a[nbrs]
+        in_set = np.zeros(g.num_vertices, dtype=bool)
+        in_set[movers] = True
+        nbr_in = in_set[nbrs]
+        # Edges with both ends moving appear as two arcs: half weight each.
+        halved = np.where(nbr_in, 0.5, 1.0) * wts
+
+        # bincount (not np.add.at): same sequential per-cell accumulation
+        # order, an order of magnitude faster.  The owner-side removals
+        # share one offset-keyed bincount (internal arcs land in the
+        # upper k bins), the far-side removal and addition share one
+        # signed bincount — two passes over the arcs instead of four.
+        was_internal = arc_src == nbr_old
+        removed = np.bincount(
+            arc_src + np.where(was_internal, k, 0),
+            weights=np.where(was_internal, halved, wts),
+            minlength=2 * k,
+        )
+        d_cut -= removed[:k]
+        d_int -= removed[k:]
+
+        # After the move every arc's owner sits in `target`; arcs whose
+        # far end neither moves nor lives in `target` stay cut.
+        now_internal = nbr_in | (nbr_old == target)
+        now_cut = ~now_internal
+        d_int[target] += float(halved[now_internal].sum())
+        d_cut[target] += float(wts[now_cut].sum())
+        # Far side: an old cut edge is cleared by the mirror arc when the
+        # far end moves too, so only outsiders settle (-); a new cut edge
+        # always has an outsider far end (+).
+        far = ~was_internal & ~nbr_in
+        signed = wts * (
+            now_cut.astype(np.float64) - far.astype(np.float64)
+        )
+        d_cut += np.bincount(nbr_old, weights=signed, minlength=k)
+        return movers, d_cut, d_int
+
     def move_many(self, vertices: np.ndarray, target: int) -> int:
-        """Move several vertices to ``target`` one by one (O(Σ deg)).
+        """Move several vertices to ``target`` in one vectorized update.
+
+        Equivalent to calling :meth:`move` per vertex (same final
+        assignment, including the relabelling when the moves empty a
+        part), but the bookkeeping is recomputed from one batched arc
+        classification (:meth:`bulk_move_stats`) plus ``bincount``
+        aggregation — no per-vertex Python work.  The rare case of the
+        moves emptying *several* parts falls back to the sequential loop,
+        whose mid-sequence relabelling the bulk path cannot reproduce.
 
         Returns the (possibly relabelled) target part id after all moves.
         """
-        for v in np.asarray(vertices, dtype=np.int64):
-            target = self.move(int(v), target)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        movers, d_cut, d_int = self.bulk_move_stats(vertices, target)
+        if movers.size == 0:
+            return target
+        src_counts = np.bincount(
+            self.assignment[movers], minlength=self._num_parts
+        )
+        emptied = np.flatnonzero(
+            (src_counts > 0) & (self.size - src_counts == 0)
+        )
+        if emptied.size > 1:
+            # Sequential semantics (parts vanish and relabel mid-stream).
+            for v in vertices:
+                target = self.move(int(v), target)
+            return target
+        g = self.graph
+        vw_moved = np.bincount(
+            self.assignment[movers],
+            weights=g.vertex_weights[movers],
+            minlength=self._num_parts,
+        )
+        self.cut += d_cut
+        self.internal += d_int
+        self.size -= src_counts
+        self.size[target] += movers.size
+        self.vertex_weight -= vw_moved
+        self.vertex_weight[target] += float(vw_moved.sum())
+        self.assignment[movers] = target
+        if emptied.size == 1:
+            hole = int(emptied[0])
+            last = self._num_parts - 1
+            self._remove_part(hole)
+            if target == last:
+                return hole
         return target
 
     # ------------------------------------------------------------------
@@ -245,12 +379,18 @@ class Partition:
             raise PartitionError("weight_between needs two distinct parts")
         small = a if self.size[a] <= self.size[b] else b
         other = b if small == a else a
-        total = 0.0
+        members = np.flatnonzero(self.assignment == small)
         g = self.graph
-        for v in np.flatnonzero(self.assignment == small):
-            nbrs, wts = g.neighbors(int(v))
-            total += float(wts[self.assignment[nbrs] == other].sum())
-        return total
+        if not g.has_integral_weights():
+            # Arbitrary floats: keep the per-vertex accumulation order so
+            # seeded runs stay ulp-identical to the historical kernel.
+            total = 0.0
+            for v in members:
+                nbrs, wts = g.neighbors(int(v))
+                total += float(wts[self.assignment[nbrs] == other].sum())
+            return total
+        _, nbrs, wts = g.neighbors_many(members)
+        return float(wts[self.assignment[nbrs] == other].sum())
 
     def merge_parts(self, a: int, b: int) -> int:
         """Merge part ``b`` into part ``a`` (fusion).
@@ -287,30 +427,61 @@ class Partition:
         """
         self._check_part(part)
         side_b = np.asarray(side_b, dtype=np.int64)
+        g = self.graph
         if side_b.size == 0:
             raise PartitionError("split side must be non-empty")
-        if np.any(self.assignment[side_b] != part):
-            raise PartitionError("split side contains vertices outside the part")
+        if side_b.min() < 0 or side_b.max() >= g.num_vertices:
+            bad = int(side_b.min() if side_b.min() < 0 else side_b.max())
+            raise PartitionError(
+                f"split side contains vertex id {bad}, outside the graph's "
+                f"0..{g.num_vertices - 1}"
+            )
+        if np.unique(side_b).shape[0] != side_b.shape[0]:
+            raise PartitionError(
+                "split side contains duplicate vertex ids (bookkeeping "
+                "would double-count them)"
+            )
+        outside = np.flatnonzero(self.assignment[side_b] != part)
+        if outside.size:
+            v = int(side_b[outside[0]])
+            raise PartitionError(
+                f"split side contains vertex {v} from part "
+                f"{int(self.assignment[v])}, not from part {part} "
+                f"({outside.size} of {side_b.size} ids are outside the part)"
+            )
         if side_b.size >= self.size[part]:
             raise PartitionError("split side must be a proper subset of the part")
         new_part = self._num_parts
         self._append_part()
         # Bulk move: compute aggregate weight adjustments in one pass.
-        in_b = np.zeros(self.graph.num_vertices, dtype=bool)
+        in_b = np.zeros(g.num_vertices, dtype=bool)
         in_b[side_b] = True
-        g = self.graph
-        w_bb = 0.0   # weight internal to side_b (counted once)
-        w_ba = 0.0   # weight between side_b and the remainder of `part`
-        w_bx = 0.0   # weight between side_b and other parts
-        for v in side_b:
-            nbrs, wts = g.neighbors(int(v))
+        if g.has_integral_weights():
+            # One batched CSR gather (no per-vertex Python loop); exact
+            # for integral weights regardless of accumulation order.
+            _, nbrs, wts = g.neighbors_many(side_b)
             nbr_parts = self.assignment[nbrs]
             same_part = nbr_parts == part
             to_b = in_b[nbrs]
-            w_bb += float(wts[to_b].sum())
-            w_ba += float(wts[same_part & ~to_b].sum())
-            w_bx += float(wts[~same_part].sum())
-        w_bb *= 0.5  # each internal edge seen from both ends
+            # Internal edges are seen from both ends -> half weight each.
+            w_bb = float(wts[to_b].sum()) * 0.5
+            w_ba = float(wts[same_part & ~to_b].sum())
+            w_bx = float(wts[~same_part].sum())
+        else:
+            # Arbitrary floats: legacy per-vertex order, ulp-identical to
+            # the historical kernel (seeded-run compatibility).
+            w_bb = 0.0   # weight internal to side_b (counted once)
+            w_ba = 0.0   # weight between side_b and the remainder of part
+            w_bx = 0.0   # weight between side_b and other parts
+            for v in side_b:
+                nbrs, wts = g.neighbors(int(v))
+                nbr_parts = self.assignment[nbrs]
+                same_part = nbr_parts == part
+                to_b = in_b[nbrs]
+                w_bb += float(wts[to_b].sum())
+                w_ba += float(wts[same_part & ~to_b].sum())
+                w_bx += float(wts[~same_part].sum())
+            w_bb *= 0.5  # each internal edge seen from both ends
 
         vw_b = float(g.vertex_weights[side_b].sum())
         self.assignment[side_b] = new_part

@@ -1,0 +1,47 @@
+"""Loop-level reference implementations of the bulk partition operations.
+
+These are the pre-vectorization kernels, kept verbatim for two jobs:
+
+* **equivalence tests** — the optimized array-level kernels in
+  :class:`~repro.partition.Partition` must produce the same assignment
+  (and the same bookkeeping within float tolerance) as these;
+* **the perf-regression harness** — ``repro bench perf`` times optimized
+  vs. reference to report a tracked speedup (see ``docs/performance.md``).
+
+They operate on a live :class:`Partition` through its public O(deg)
+single-vertex :meth:`~repro.partition.Partition.move`, exactly as the
+old ``move_many`` did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.partition import Partition
+
+__all__ = ["move_many_reference", "weight_between_reference"]
+
+
+def move_many_reference(
+    partition: Partition, vertices: np.ndarray, target: int
+) -> int:
+    """Move vertices to ``target`` one by one (the pre-PR-4 ``move_many``).
+
+    O(Σ deg) with per-vertex Python dispatch; returns the (possibly
+    relabelled) target part id after all moves.
+    """
+    for v in np.asarray(vertices, dtype=np.int64):
+        target = partition.move(int(v), target)
+    return target
+
+
+def weight_between_reference(partition: Partition, a: int, b: int) -> float:
+    """Per-vertex-loop total edge weight between parts ``a`` and ``b``."""
+    small = a if partition.size[a] <= partition.size[b] else b
+    other = b if small == a else a
+    total = 0.0
+    g = partition.graph
+    for v in np.flatnonzero(partition.assignment == small):
+        nbrs, wts = g.neighbors(int(v))
+        total += float(wts[partition.assignment[nbrs] == other].sum())
+    return total

@@ -54,25 +54,32 @@ def greedy_balance(
         if members.size <= 1:
             break
         # Choose the member whose departure costs the least cut increase
-        # and whose best target part is underweight.
-        best: tuple[float, int, int] | None = None
-        for v in members:
-            v = int(v)
-            w_parts = partition.neighbor_part_weights(v)
-            vw = float(g.vertex_weights[v])
-            gains = w_parts - w_parts[heavy]
-            gains[heavy] = -np.inf
-            over = partition.vertex_weight + vw > ceiling
-            gains[over] = -np.inf
-            target = int(np.argmax(gains))
-            if not np.isfinite(gains[target]):
-                continue
-            loss = -float(gains[target])  # cut increase of this move
-            if best is None or loss < best[0]:
-                best = (loss, v, target)
-        if best is None:
+        # and whose best target part is underweight.  One batched block:
+        # every member's per-part neighbour weights materialise in a
+        # single CSR gather, and the admissibility masking / argmax /
+        # argmin run over the whole (members, k) table — no per-vertex
+        # Python loop.  Same first-min/first-max tie-breaking as the old
+        # sequential scan.
+        rows_idx, nbrs, wts = g.neighbors_many(members)
+        k = partition.num_parts
+        w_table = np.bincount(
+            rows_idx * k + partition.assignment[nbrs],
+            weights=wts, minlength=members.size * k,
+        ).reshape(members.size, k)
+        vw = g.vertex_weights[members]
+        idx = np.arange(members.size)
+        gains = w_table - w_table[:, heavy][:, None]
+        gains[:, heavy] = -np.inf
+        over = partition.vertex_weight[None, :] + vw[:, None] > ceiling
+        gains[over] = -np.inf
+        targets = np.argmax(gains, axis=1)
+        best_gain = gains[idx, targets]
+        losses = np.where(np.isfinite(best_gain), -best_gain, np.inf)
+        i = int(np.argmin(losses))
+        if not np.isfinite(losses[i]):
             break
-        _, v, target = best
-        partition.move(v, target, allow_empty_source=False)
+        partition.move(
+            int(members[i]), int(targets[i]), allow_empty_source=False
+        )
         moves += 1
     return moves

@@ -1,0 +1,138 @@
+"""The batched gain engine, graph gather primitives and bulk-op guards."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import PartitionError
+from repro.graph import Graph, grid_graph, random_geometric_graph
+from repro.partition import GainTable, Partition
+
+
+@pytest.fixture
+def partitioned_grid():
+    graph = grid_graph(8, 8)
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, 4, graph.num_vertices)
+    assignment[:4] = np.arange(4)
+    return Partition(graph, assignment)
+
+
+class TestNeighborsMany:
+    def test_matches_per_vertex_slices(self):
+        graph, _ = random_geometric_graph(80, 0.2, seed=3)
+        vertices = np.array([5, 0, 17, 5, 42])  # duplicates allowed
+        rows, nbrs, wts = graph.neighbors_many(vertices)
+        pos = 0
+        for i, v in enumerate(vertices):
+            ref_nbrs, ref_wts = graph.neighbors(int(v))
+            span = ref_nbrs.shape[0]
+            assert np.array_equal(rows[pos:pos + span], np.full(span, i))
+            assert np.array_equal(nbrs[pos:pos + span], ref_nbrs)
+            assert np.array_equal(wts[pos:pos + span], ref_wts)
+            pos += span
+        assert pos == rows.shape[0]
+
+    def test_empty_input(self):
+        graph = grid_graph(3, 3)
+        rows, nbrs, wts = graph.neighbors_many(np.empty(0, dtype=np.int64))
+        assert rows.size == nbrs.size == wts.size == 0
+
+    def test_arc_owners_cached_and_correct(self):
+        graph = grid_graph(4, 4)
+        owners = graph.arc_owners()
+        assert owners is graph.arc_owners()  # cached
+        expected = np.repeat(np.arange(16), np.diff(graph.indptr))
+        assert np.array_equal(owners, expected)
+
+    def test_integral_weight_detection(self):
+        assert grid_graph(3, 3).has_integral_weights()
+        float_graph = Graph.from_edges(3, [(0, 1, 0.25), (1, 2, 1.0)])
+        assert not float_graph.has_integral_weights()
+
+
+class TestGainTable:
+    def test_rows_match_neighbor_part_weights(self, partitioned_grid):
+        p = partitioned_grid
+        table = GainTable(p, np.arange(p.graph.num_vertices))
+        for v in range(p.graph.num_vertices):
+            assert np.array_equal(table.row(v), p.neighbor_part_weights(v))
+
+    def test_lazy_materialization(self, partitioned_grid):
+        p = partitioned_grid
+        table = GainTable(p)
+        assert not table.materialized.any()
+        row = table.row(5)
+        assert table.materialized[5]
+        assert np.array_equal(row, p.neighbor_part_weights(5))
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_apply_move_keeps_rows_current(self, partitioned_grid, exact):
+        p = partitioned_grid
+        table = GainTable(p, np.arange(p.graph.num_vertices))
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            v = int(rng.integers(p.graph.num_vertices))
+            t = int(rng.integers(p.num_parts))
+            s = p.part_of(v)
+            if s == t or p.size[s] <= 1:
+                continue
+            p.move(v, t, allow_empty_source=False, w_parts=table.row(v))
+            table.apply_move(v, s, t, exact=exact)
+        for v in range(p.graph.num_vertices):
+            assert np.allclose(table.row(v), p.neighbor_part_weights(v))
+
+    def test_stale_k_is_rejected(self, partitioned_grid):
+        p = partitioned_grid
+        table = GainTable(p)
+        p.merge_parts(0, 1)
+        with pytest.raises(PartitionError, match="fresh table"):
+            table.ensure(np.array([0]))
+
+
+class TestBulkMoveStats:
+    def test_deltas_match_recomputation(self):
+        graph, _ = random_geometric_graph(120, 0.15, seed=2)
+        rng = np.random.default_rng(4)
+        assignment = rng.integers(0, 5, graph.num_vertices)
+        assignment[:5] = np.arange(5)
+        p = Partition(graph, assignment)
+        vertices = rng.choice(graph.num_vertices, 30, replace=False)
+        movers, d_cut, d_int = p.bulk_move_stats(vertices, 2)
+        after = p.copy()
+        after.move_many(vertices, 2)
+        if after.num_parts == p.num_parts:  # no drain in this draw
+            assert np.allclose(p.cut + d_cut, after.cut)
+            assert np.allclose(p.internal + d_int, after.internal)
+
+    def test_rejects_out_of_range_vertices(self, partitioned_grid):
+        with pytest.raises(PartitionError, match="out of range"):
+            partitioned_grid.bulk_move_stats(np.array([999]), 0)
+        with pytest.raises(PartitionError, match="out of range"):
+            partitioned_grid.bulk_move_stats(np.array([-3]), 0)
+
+
+class TestSplitPartValidation:
+    def test_rejects_out_of_range_ids(self, partitioned_grid):
+        with pytest.raises(PartitionError, match="outside the graph"):
+            partitioned_grid.split_part(0, np.array([64]))
+        with pytest.raises(PartitionError, match="outside the graph"):
+            partitioned_grid.split_part(0, np.array([-1]))
+
+    def test_rejects_duplicates(self, partitioned_grid):
+        members = partitioned_grid.members(0)
+        dup = np.array([members[0], members[0]])
+        with pytest.raises(PartitionError, match="duplicate"):
+            partitioned_grid.split_part(0, dup)
+
+    def test_names_the_offending_vertex_and_part(self, partitioned_grid):
+        outsider = int(partitioned_grid.members(1)[0])
+        insider = int(partitioned_grid.members(0)[0])
+        with pytest.raises(PartitionError, match=f"vertex {outsider}"):
+            partitioned_grid.split_part(0, np.array([insider, outsider]))
+
+    def test_bookkeeping_intact_after_rejection(self, partitioned_grid):
+        p = partitioned_grid
+        outsider = int(p.members(1)[0])
+        with pytest.raises(PartitionError):
+            p.split_part(0, np.array([outsider]))
+        p.check()  # nothing was corrupted by the failed call
