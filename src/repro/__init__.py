@@ -4,10 +4,16 @@ evaluated against.
 
 Quickstart
 ----------
->>> from repro import core_area_graph, FusionFissionPartitioner
+>>> from repro import core_area_graph, solve
 >>> graph = core_area_graph(seed=2006)          # 762 sectors, 3165 flows
->>> ff = FusionFissionPartitioner(k=32, max_steps=2000)
->>> blocks = ff.partition(graph, seed=0)        # doctest: +SKIP
+>>> report = solve(graph, k=32, method="fusion-fission",
+...                seed=0, max_steps=2000)      # doctest: +SKIP
+>>> blocks = report.partition                   # doctest: +SKIP
+
+(:func:`repro.api.solve` runs any solver family through the unified
+session API — event streaming, budgets, checkpoint/resume; see
+``docs/api.md``.  The per-family ``partition(graph, seed)`` entry points
+remain as thin deprecated shims.)
 
 Package map
 -----------
@@ -23,6 +29,7 @@ Package map
 ``repro.atc``            the FABOP air-traffic application (§5)
 ``repro.bench``          Table-1 / Figure-1 reproduction harness
 ``repro.engine``         parallel portfolio runner over all solver families
+``repro.api``            unified solver API: sessions, events, checkpoints
 """
 
 from repro.graph import Graph, GraphBuilder
@@ -51,8 +58,16 @@ from repro.engine import (
 )
 from repro.graph.analysis import modularity, conductance
 from repro.viz import render_partition_svg, render_traces_svg
+from repro.api import (
+    Budget,
+    SolveReport,
+    SolveRequest,
+    SolveSession,
+    resume,
+    solve,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -86,5 +101,11 @@ __all__ = [
     "conductance",
     "render_partition_svg",
     "render_traces_svg",
+    "Budget",
+    "SolveRequest",
+    "SolveReport",
+    "SolveSession",
+    "solve",
+    "resume",
     "__version__",
 ]

@@ -18,12 +18,18 @@ Faithful to §3.1:
 
 Moves that would empty a part are rejected outright so ``k`` stays fixed
 (SA is the paper's fixed-k baseline; changing k is fusion–fission's trick).
+
+The loop lives in :class:`AnnealRun`, a resumable stepper: one
+:meth:`AnnealRun.step` is one iteration of the historical ``while`` loop
+(bit-identical rng stream), and its state serialises/restores for the
+:mod:`repro.api` checkpoint machinery.  :func:`anneal` drives a run to
+completion — the classic functional entry point, unchanged behaviour.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -34,8 +40,175 @@ from repro.common.timer import Deadline
 from repro.graph.graph import Graph
 from repro.partition.objectives import Objective, get_objective
 from repro.partition.partition import Partition
+from repro.api.request import SolveRequest
+from repro.api.session import SolveSession
 
-__all__ = ["SimulatedAnnealingPartitioner", "anneal"]
+__all__ = ["SimulatedAnnealingPartitioner", "AnnealRun", "anneal"]
+
+
+class AnnealRun:
+    """Resumable annealing loop state (one :meth:`step` = one iteration).
+
+    Parameters match :func:`anneal`; see its docstring.  The historical
+    ``while True`` loop body is :meth:`step` verbatim — the stepper
+    exists so run sessions can suspend between iterations, checkpoint
+    the full state (:meth:`export_state`/:meth:`restore_state`) and
+    resume without perturbing the random stream.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        objective: Objective | str = "mcut",
+        tmax: float = 1.0,
+        tmin: float = 0.0,
+        cooling_ratio: float = 0.95,
+        equilibrium_refusals: int = 50,
+        freeze_epsilon: float = 1e-3,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
+        seed: SeedLike = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> None:
+        self.obj = get_objective(objective)
+        self.rng = ensure_rng(seed)
+        if tmax <= 0:
+            raise ConfigurationError(f"tmax must be > 0, got {tmax}")
+        if tmin < 0 or tmin >= tmax:
+            raise ConfigurationError(
+                f"need 0 <= tmin < tmax, got tmin={tmin}, tmax={tmax}"
+            )
+        ratio = (tmax - tmin) / tmax
+        self.ratio = min(ratio, cooling_ratio)
+        self.freeze = max(tmin, freeze_epsilon * tmax)
+        self.midpoint = 0.5 * (tmax + tmin)
+        self.tmax = tmax
+        self.max_steps = max_steps
+        self.time_budget = time_budget
+        self.equilibrium_refusals = equilibrium_refusals
+        self.deadline = Deadline(time_budget)
+        self.on_improvement = on_improvement
+
+        self.partition = partition
+        self.energy = self.obj.value(partition)
+        self.best = partition.copy()
+        self.best_energy = self.energy
+        self.t = tmax
+        self.refusals = 0
+        self.steps = 0
+        self.finished = False
+
+    def step(self) -> bool:
+        """One iteration of the annealing loop; False once stopped.
+
+        Ordering (freeze/reheat check, step cap, deadline, then one move
+        attempt) and every random draw replicate the historical loop
+        exactly.
+        """
+        if self.finished:
+            return False
+        if self.t <= self.freeze:
+            # Frozen.  With a wall-clock budget the paper's metaheuristics
+            # "can run infinitely": reheat and continue from the best
+            # solution; without a budget, freezing is the stop criterion.
+            if self.time_budget is None or self.deadline.expired():
+                self.finished = True
+                return False
+            self.partition = self.best.copy()
+            self.energy = self.best_energy
+            self.t = self.tmax
+            self.refusals = 0
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            self.finished = True
+            return False
+        if self.deadline.expired():
+            self.finished = True
+            return False
+        self.steps += 1
+        partition, rng, obj = self.partition, self.rng, self.obj
+        n = partition.graph.num_vertices
+        v = int(rng.integers(n))
+        source = partition.part_of(v)
+        if partition.size[source] <= 1:
+            return True  # never empty a part
+        if self.t > self.midpoint:
+            # Hot: target the part with the lowest internal weight.
+            target = int(np.argmin(partition.internal))
+            if target == source:
+                order = np.argsort(partition.internal)
+                target = int(order[1]) if order.shape[0] > 1 else source
+            if target == source:
+                return True
+            w_parts = partition.neighbor_part_weights(v)
+        else:
+            # Cold: random connected part.  The aggregation is computed
+            # once and reused by the delta and the move below — the
+            # incremental-energy invariant (docs/performance.md) is that
+            # no step aggregates a neighbourhood twice.
+            w_parts = partition.neighbor_part_weights(v)
+            connected = w_parts > 0.0
+            connected[source] = False
+            candidates = np.flatnonzero(connected)
+            if candidates.size == 0:
+                return True
+            target = int(candidates[rng.integers(candidates.size)])
+        delta = obj.delta_move(partition, v, target, w_parts=w_parts)
+        accept = delta <= 0.0
+        if not accept and np.isfinite(delta):
+            accept = math.exp(-delta / self.t) > rng.random()
+        if accept:
+            partition.move(
+                v, target, allow_empty_source=False, w_parts=w_parts
+            )
+            if np.isfinite(delta) and np.isfinite(self.energy):
+                self.energy += delta
+            else:
+                # Moves out of an inf-energy state (e.g. an Mcut part with
+                # no internal edges) need a fresh evaluation.
+                self.energy = obj.value(partition)
+            if self.energy < self.best_energy - 1e-12:
+                # Guard against float drift on long runs.
+                self.energy = obj.value(partition)
+                if self.energy < self.best_energy - 1e-12:
+                    self.best = partition.copy()
+                    self.best_energy = self.energy
+                    if self.on_improvement is not None:
+                        self.on_improvement(self.best_energy, self.best)
+        else:
+            self.refusals += 1
+            if self.refusals >= self.equilibrium_refusals:
+                self.refusals = 0
+                self.t *= self.ratio
+        return True
+
+    # -- checkpoint plumbing (see repro.api.session) -----------------------
+    def export_state(self) -> dict:
+        """JSON-serialisable loop state (rng handled by the session)."""
+        return {
+            "assignment": [int(p) for p in self.partition.assignment],
+            "best_assignment": [int(p) for p in self.best.assignment],
+            "energy": self.energy,
+            "best_energy": self.best_energy,
+            "t": self.t,
+            "refusals": self.refusals,
+            "steps": self.steps,
+            "finished": self.finished,
+        }
+
+    def restore_state(self, graph: Graph, state: dict) -> None:
+        """Inverse of :meth:`export_state` (rebuilds both partitions)."""
+        self.partition = Partition(
+            graph, np.asarray(state["assignment"], dtype=np.int64)
+        )
+        self.best = Partition(
+            graph, np.asarray(state["best_assignment"], dtype=np.int64)
+        )
+        self.energy = float(state["energy"])
+        self.best_energy = float(state["best_energy"])
+        self.t = float(state["t"])
+        self.refusals = int(state["refusals"])
+        self.steps = int(state["steps"])
+        self.finished = bool(state["finished"])
 
 
 def anneal(
@@ -82,98 +255,91 @@ def anneal(
     :meth:`Objective.delta_move`; a full re-evaluation never happens inside
     the loop (hpc-parallel guide: no per-step O(n) work).
     """
-    obj = get_objective(objective)
-    rng = ensure_rng(seed)
-    if tmax <= 0:
-        raise ConfigurationError(f"tmax must be > 0, got {tmax}")
-    if tmin < 0 or tmin >= tmax:
-        raise ConfigurationError(
-            f"need 0 <= tmin < tmax, got tmin={tmin}, tmax={tmax}"
+    run = AnnealRun(
+        partition,
+        objective=objective,
+        tmax=tmax,
+        tmin=tmin,
+        cooling_ratio=cooling_ratio,
+        equilibrium_refusals=equilibrium_refusals,
+        freeze_epsilon=freeze_epsilon,
+        max_steps=max_steps,
+        time_budget=time_budget,
+        seed=seed,
+        on_improvement=on_improvement,
+    )
+    while run.step():
+        pass
+    return run.best, run.best_energy
+
+
+class AnnealingSession(SolveSession):
+    """Run session for :class:`SimulatedAnnealingPartitioner`.
+
+    One session iteration = up to :attr:`chunk` annealing moves, so
+    events, budget checks and checkpoints land every few hundred cheap
+    inner steps instead of on every vertex move.
+    """
+
+    chunk = 256
+
+    def _setup(self) -> None:
+        from repro.percolation.percolation import PercolationPartitioner
+
+        self._set_phase("percolation-init")
+        start = PercolationPartitioner(k=self.request.k).partition(
+            self.request.graph, seed=self.rng
         )
-    ratio = (tmax - tmin) / tmax
-    ratio = min(ratio, cooling_ratio)
-    freeze = max(tmin, freeze_epsilon * tmax)
-    midpoint = 0.5 * (tmax + tmin)
-    deadline = Deadline(time_budget)
+        self._run = self._make_run(start)
+        self._set_phase("anneal")
 
-    graph = partition.graph
-    n = graph.num_vertices
-    energy = obj.value(partition)
-    best = partition.copy()
-    best_energy = energy
-    t = tmax
-    refusals = 0
-    steps = 0
+    def _make_run(self, partition: Partition) -> AnnealRun:
+        solver: SimulatedAnnealingPartitioner = self.solver
+        return AnnealRun(
+            partition,
+            objective=self.request.objective or solver.objective,
+            tmax=solver.tmax,
+            tmin=solver.tmin,
+            cooling_ratio=solver.cooling_ratio,
+            equilibrium_refusals=solver.equilibrium_refusals,
+            max_steps=solver.max_steps,
+            time_budget=solver.time_budget,
+            seed=self.rng,
+            on_improvement=lambda energy, best: self._incumbent_improved(
+                energy, num_parts=best.num_parts
+            ),
+        )
 
-    while True:
-        if t <= freeze:
-            # Frozen.  With a wall-clock budget the paper's metaheuristics
-            # "can run infinitely": reheat and continue from the best
-            # solution; without a budget, freezing is the stop criterion.
-            if time_budget is None or deadline.expired():
-                break
-            partition = best.copy()
-            energy = best_energy
-            t = tmax
-            refusals = 0
-        if max_steps is not None and steps >= max_steps:
-            break
-        if deadline.expired():
-            break
-        steps += 1
-        v = int(rng.integers(n))
-        source = partition.part_of(v)
-        if partition.size[source] <= 1:
-            continue  # never empty a part
-        if t > midpoint:
-            # Hot: target the part with the lowest internal weight.
-            target = int(np.argmin(partition.internal))
-            if target == source:
-                order = np.argsort(partition.internal)
-                target = int(order[1]) if order.shape[0] > 1 else source
-            if target == source:
-                continue
-            w_parts = partition.neighbor_part_weights(v)
-        else:
-            # Cold: random connected part.  The aggregation is computed
-            # once and reused by the delta and the move below — the
-            # incremental-energy invariant (docs/performance.md) is that
-            # no step aggregates a neighbourhood twice.
-            w_parts = partition.neighbor_part_weights(v)
-            connected = w_parts > 0.0
-            connected[source] = False
-            candidates = np.flatnonzero(connected)
-            if candidates.size == 0:
-                continue
-            target = int(candidates[rng.integers(candidates.size)])
-        delta = obj.delta_move(partition, v, target, w_parts=w_parts)
-        accept = delta <= 0.0
-        if not accept and np.isfinite(delta):
-            accept = math.exp(-delta / t) > rng.random()
-        if accept:
-            partition.move(
-                v, target, allow_empty_source=False, w_parts=w_parts
-            )
-            if np.isfinite(delta) and np.isfinite(energy):
-                energy += delta
-            else:
-                # Moves out of an inf-energy state (e.g. an Mcut part with
-                # no internal edges) need a fresh evaluation.
-                energy = obj.value(partition)
-            if energy < best_energy - 1e-12:
-                # Guard against float drift on long runs.
-                energy = obj.value(partition)
-                if energy < best_energy - 1e-12:
-                    best = partition.copy()
-                    best_energy = energy
-                    if on_improvement is not None:
-                        on_improvement(best_energy, best)
-        else:
-            refusals += 1
-            if refusals >= equilibrium_refusals:
-                refusals = 0
-                t *= ratio
-    return best, best_energy
+    def _advance(self) -> bool:
+        for _ in range(self.chunk):
+            if not self._run.step():
+                return False
+        return True
+
+    #: set by ``_setup``/``_restore_state``; None only mid-construction
+    _run: AnnealRun | None = None
+
+    def _best_partition(self) -> Partition | None:
+        return self._run.best if self._run is not None else None
+
+    def _best_objective(self) -> float | None:
+        return self._run.best_energy if self._run is not None else None
+
+    def _progress_payload(self) -> dict:
+        return {"temperature": self._run.t, "moves": self._run.steps}
+
+    def _export_state(self) -> dict:
+        return self._run.export_state()
+
+    def _restore_state(self, state: dict) -> None:
+        # Placeholder partition: restore_state overwrites every field.
+        placeholder = Partition(
+            self.request.graph,
+            np.asarray(state["assignment"], dtype=np.int64),
+        )
+        self._run = self._make_run(placeholder)
+        self._run.restore_state(self.request.graph, state)
+        self.phase = "anneal"
 
 
 @dataclass
@@ -205,27 +371,26 @@ class SimulatedAnnealingPartitioner:
 
     name = "simulated-annealing"
 
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> AnnealingSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return AnnealingSession(self, request, checkpoint)
+
     def partition(
         self,
         graph: Graph,
         seed: SeedLike = None,
         on_improvement: Callable[[float, Partition], None] | None = None,
     ) -> Partition:
-        """Percolation init + annealing."""
-        from repro.percolation.percolation import PercolationPartitioner
+        """Percolation init + annealing.
 
-        rng = ensure_rng(seed)
-        start = PercolationPartitioner(k=self.k).partition(graph, seed=rng)
-        best, _ = anneal(
-            start,
-            objective=self.objective,
-            tmax=self.tmax,
-            tmin=self.tmin,
-            cooling_ratio=self.cooling_ratio,
-            equilibrium_refusals=self.equilibrium_refusals,
-            max_steps=self.max_steps,
-            time_budget=self.time_budget,
-            seed=rng,
-            on_improvement=on_improvement,
-        )
-        return best
+        .. deprecated:: 1.2
+            Thin shim over :meth:`start` — prefer the session API
+            (events, budgets, checkpointing).  Results are identical.
+        """
+        session = self.start(SolveRequest(graph=graph, k=self.k, seed=seed))
+        if on_improvement is not None:
+            session.chain_improvement(on_improvement)
+        session.run()
+        return session.partition

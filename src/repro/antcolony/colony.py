@@ -17,6 +17,12 @@ One iteration (the three steps of paper §3.2):
 
 Ants from different colonies may stand on the same vertex — connectivity
 of parts is not forced, exactly as the paper stresses.
+
+The loop lives in :class:`AntColonyRun`, a resumable stepper (one
+:meth:`AntColonyRun.step` = one colony iteration, bit-identical rng
+stream to the historical ``for`` loop) whose state — pheromone field,
+territories, incumbent — serialises for the :mod:`repro.api` checkpoint
+machinery.  :func:`ant_colony_search` drives a run to completion.
 """
 
 from __future__ import annotations
@@ -33,8 +39,10 @@ from repro.graph.graph import Graph
 from repro.antcolony.pheromone import PheromoneField
 from repro.partition.objectives import Objective, get_objective
 from repro.partition.partition import Partition
+from repro.api.request import SolveRequest
+from repro.api.session import SolveSession
 
-__all__ = ["AntColonyPartitioner", "ant_colony_search"]
+__all__ = ["AntColonyPartitioner", "AntColonyRun", "ant_colony_search"]
 
 
 def _ownership_to_partition(
@@ -98,6 +106,185 @@ def _daemon_local_search(
             moves += 1
 
 
+class AntColonyRun:
+    """Resumable competing-colonies loop (one :meth:`step` = one iteration).
+
+    Parameters match :func:`ant_colony_search`; see its docstring.  Setup
+    (percolation territory seeding, initial pheromone trails) happens in
+    the constructor, consuming the rng exactly as the historical function
+    did before its loop.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        objective: Objective | str = "mcut",
+        num_ants: int = 8,
+        walk_length: int = 8,
+        evaporation: float = 0.05,
+        deposit: float = 1.0,
+        reinforcement: float = 4.0,
+        exploration_bonus: float = 0.5,
+        pheromone_power: float = 1.0,
+        heuristic_power: float = 1.0,
+        iterations: int = 200,
+        daemon_moves: int = 200,
+        time_budget: float | None = None,
+        seed: SeedLike = None,
+        initial_partition: Partition | None = None,
+        on_improvement: Callable[[float, Partition], None] | None = None,
+    ) -> None:
+        if k < 1 or k > graph.num_vertices:
+            raise ConfigurationError(f"k must be in [1, {graph.num_vertices}]")
+        self.graph = graph
+        self.k = k
+        self.obj = get_objective(objective)
+        self.rng = ensure_rng(seed)
+        self.deadline = Deadline(time_budget)
+        self.num_ants = num_ants
+        self.walk_length = walk_length
+        self.evaporation = evaporation
+        self.deposit = deposit
+        self.reinforcement = reinforcement
+        self.exploration_bonus = exploration_bonus
+        self.pheromone_power = pheromone_power
+        self.heuristic_power = heuristic_power
+        self.iterations = iterations
+        self.daemon_moves = daemon_moves
+        self.on_improvement = on_improvement
+
+        if initial_partition is None:
+            from repro.percolation.percolation import PercolationPartitioner
+
+            initial_partition = PercolationPartitioner(k=k).partition(
+                graph, seed=self.rng
+            )
+        if initial_partition.num_parts != k:
+            raise ConfigurationError(
+                f"initial partition has {initial_partition.num_parts} parts, "
+                f"expected {k}"
+            )
+        self.fallback = initial_partition.assignment.copy()
+
+        self.field = PheromoneField(graph, k, initial=0.0)
+        # Seed trails: each colony marks the edges internal to its start part.
+        eu, ev = self.field.edge_u, self.field.edge_v
+        for colony in range(k):
+            internal = (self.fallback[eu] == colony) & (
+                self.fallback[ev] == colony
+            )
+            self.field.values[colony, internal] = deposit
+
+        self.best = initial_partition.copy()
+        self.best_energy = self.obj.value(self.best)
+        self.current_assignment = self.fallback.copy()
+        self.it = 0
+
+    def step(self) -> bool:
+        """One colony iteration (motion, update, centralised action);
+        False once the iteration cap or deadline stops the run."""
+        if self.it >= self.iterations:
+            return False
+        if self.deadline.expired():
+            return False
+        graph, k, rng, field = self.graph, self.k, self.rng, self.field
+        w_edges = graph.weights  # per-arc weights (CSR order)
+        eu, ev = field.edge_u, field.edge_v
+        # --- Step 1: motion ----------------------------------------------
+        paths: list[tuple[int, list[int]]] = []  # (colony, edge ids)
+        for colony in range(k):
+            territory = np.flatnonzero(self.current_assignment == colony)
+            if territory.size == 0:
+                territory = np.array([int(rng.integers(graph.num_vertices))])
+            starts = territory[rng.integers(territory.size, size=self.num_ants)]
+            for s in starts:
+                v = int(s)
+                walked: list[int] = []
+                for _step in range(self.walk_length):
+                    lo, hi = graph.indptr[v], graph.indptr[v + 1]
+                    if hi == lo:
+                        break
+                    edge_ids = field.arc_edge[lo:hi]
+                    tau = field.values[colony, edge_ids]
+                    heur = w_edges[lo:hi]
+                    attract = (
+                        np.power(tau + 1e-12, self.pheromone_power)
+                        * np.power(heur + 1e-12, self.heuristic_power)
+                    )
+                    attract = attract + self.exploration_bonus * (tau <= 0.0)
+                    total = float(attract.sum())
+                    if total <= 0.0:
+                        break
+                    choice = int(rng.choice(hi - lo, p=attract / total))
+                    walked.append(int(edge_ids[choice]))
+                    v = int(graph.indices[lo + choice])
+                paths.append((colony, walked))
+        # --- Step 2: pheromone update --------------------------------------
+        for colony, walked in paths:
+            if walked:
+                field.deposit(
+                    colony, np.asarray(walked, dtype=np.int64), self.deposit
+                )
+        # --- Step 3: centralised ownership + daemon action + scoring ------
+        ownership = field.vertex_ownership()
+        partition = _ownership_to_partition(graph, ownership, k, self.fallback)
+        if self.daemon_moves > 0:
+            _daemon_local_search(
+                partition, self.obj, rng, max_moves=self.daemon_moves
+            )
+        energy = self.obj.value(partition)
+        if energy < self.best_energy - 1e-12:
+            self.best = partition.copy()
+            self.best_energy = energy
+            if self.on_improvement is not None:
+                self.on_improvement(self.best_energy, self.best)
+            # Backward update: reinforce internal edges of the improved
+            # partition (food found — strengthen the trail home).
+            a = partition.assignment
+            for colony in range(k):
+                internal = np.flatnonzero(
+                    (a[eu] == colony) & (a[ev] == colony)
+                )
+                if internal.size:
+                    field.deposit(colony, internal, self.reinforcement)
+        self.current_assignment = partition.assignment.copy()
+        field.evaporate(self.evaporation)
+        self.it += 1
+        return self.it < self.iterations
+
+    # -- checkpoint plumbing (see repro.api.session) -----------------------
+    def export_state(self) -> dict:
+        """JSON-serialisable loop state (rng handled by the session)."""
+        return {
+            "it": self.it,
+            "pheromone": self.field.values.tolist(),
+            "fallback": [int(p) for p in self.fallback],
+            "current_assignment": [int(p) for p in self.current_assignment],
+            "best_assignment": [int(p) for p in self.best.assignment],
+            "best_energy": self.best_energy,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state`."""
+        self.it = int(state["it"])
+        values = np.asarray(state["pheromone"], dtype=np.float64)
+        if values.shape != self.field.values.shape:
+            raise ConfigurationError(
+                f"pheromone field shape {values.shape} does not match "
+                f"the graph/colony layout {self.field.values.shape}"
+            )
+        self.field.values = values
+        self.fallback = np.asarray(state["fallback"], dtype=np.int64)
+        self.current_assignment = np.asarray(
+            state["current_assignment"], dtype=np.int64
+        )
+        self.best = Partition(
+            self.graph, np.asarray(state["best_assignment"], dtype=np.int64)
+        )
+        self.best_energy = float(state["best_energy"])
+
+
 def ant_colony_search(
     graph: Graph,
     k: int,
@@ -144,94 +331,96 @@ def ant_colony_search(
     on_improvement:
         Callback ``(energy, partition)`` on every new best (Figure 1).
     """
-    if k < 1 or k > graph.num_vertices:
-        raise ConfigurationError(f"k must be in [1, {graph.num_vertices}]")
-    obj = get_objective(objective)
-    rng = ensure_rng(seed)
-    deadline = Deadline(time_budget)
+    run = AntColonyRun(
+        graph,
+        k,
+        objective=objective,
+        num_ants=num_ants,
+        walk_length=walk_length,
+        evaporation=evaporation,
+        deposit=deposit,
+        reinforcement=reinforcement,
+        exploration_bonus=exploration_bonus,
+        pheromone_power=pheromone_power,
+        heuristic_power=heuristic_power,
+        iterations=iterations,
+        daemon_moves=daemon_moves,
+        time_budget=time_budget,
+        seed=seed,
+        initial_partition=initial_partition,
+        on_improvement=on_improvement,
+    )
+    while run.step():
+        pass
+    return run.best, run.best_energy
 
-    if initial_partition is None:
-        from repro.percolation.percolation import PercolationPartitioner
 
-        initial_partition = PercolationPartitioner(k=k).partition(graph, seed=rng)
-    if initial_partition.num_parts != k:
-        raise ConfigurationError(
-            f"initial partition has {initial_partition.num_parts} parts, "
-            f"expected {k}"
+class AntColonySession(SolveSession):
+    """Run session for :class:`AntColonyPartitioner`.
+
+    One session iteration = one colony iteration (each dispatches
+    ``k × num_ants`` ant walks — already a substantial work unit)."""
+
+    #: set by ``_setup``/``_restore_state``; None only mid-construction
+    _run: AntColonyRun | None = None
+
+    def _setup(self) -> None:
+        self._set_phase("percolation-init")
+        self._run = self._make_run()
+        self._set_phase("colonies")
+
+    def _make_run(
+        self, initial_partition: Partition | None = None
+    ) -> AntColonyRun:
+        solver: AntColonyPartitioner = self.solver
+        return AntColonyRun(
+            self.request.graph,
+            self.request.k,
+            objective=self.request.objective or solver.objective,
+            num_ants=solver.num_ants,
+            walk_length=solver.walk_length,
+            evaporation=solver.evaporation,
+            deposit=solver.deposit,
+            reinforcement=solver.reinforcement,
+            exploration_bonus=solver.exploration_bonus,
+            pheromone_power=solver.pheromone_power,
+            heuristic_power=solver.heuristic_power,
+            iterations=solver.iterations,
+            daemon_moves=solver.daemon_moves,
+            time_budget=solver.time_budget,
+            seed=self.rng,
+            initial_partition=initial_partition,
+            on_improvement=lambda energy, best: self._incumbent_improved(
+                energy, num_parts=best.num_parts
+            ),
         )
-    fallback = initial_partition.assignment.copy()
 
-    field = PheromoneField(graph, k, initial=0.0)
-    # Seed trails: each colony marks the edges internal to its start part.
-    eu, ev = field.edge_u, field.edge_v
-    for colony in range(k):
-        internal = (fallback[eu] == colony) & (fallback[ev] == colony)
-        field.values[colony, internal] = deposit
+    def _advance(self) -> bool:
+        return self._run.step()
 
-    best = initial_partition.copy()
-    best_energy = obj.value(best)
-    current_assignment = fallback.copy()
-    w_edges = graph.weights  # per-arc weights (CSR order)
+    def _best_partition(self) -> Partition | None:
+        return self._run.best if self._run is not None else None
 
-    for _ in range(iterations):
-        if deadline.expired():
-            break
-        # --- Step 1: motion ----------------------------------------------
-        paths: list[tuple[int, list[int]]] = []  # (colony, edge ids)
-        for colony in range(k):
-            territory = np.flatnonzero(current_assignment == colony)
-            if territory.size == 0:
-                territory = np.array([int(rng.integers(graph.num_vertices))])
-            starts = territory[rng.integers(territory.size, size=num_ants)]
-            for s in starts:
-                v = int(s)
-                walked: list[int] = []
-                for _step in range(walk_length):
-                    lo, hi = graph.indptr[v], graph.indptr[v + 1]
-                    if hi == lo:
-                        break
-                    edge_ids = field.arc_edge[lo:hi]
-                    tau = field.values[colony, edge_ids]
-                    heur = w_edges[lo:hi]
-                    attract = (
-                        np.power(tau + 1e-12, pheromone_power)
-                        * np.power(heur + 1e-12, heuristic_power)
-                    )
-                    attract = attract + exploration_bonus * (tau <= 0.0)
-                    total = float(attract.sum())
-                    if total <= 0.0:
-                        break
-                    choice = int(rng.choice(hi - lo, p=attract / total))
-                    walked.append(int(edge_ids[choice]))
-                    v = int(graph.indices[lo + choice])
-                paths.append((colony, walked))
-        # --- Step 2: pheromone update --------------------------------------
-        for colony, walked in paths:
-            if walked:
-                field.deposit(colony, np.asarray(walked, dtype=np.int64), deposit)
-        # --- Step 3: centralised ownership + daemon action + scoring ------
-        ownership = field.vertex_ownership()
-        partition = _ownership_to_partition(graph, ownership, k, fallback)
-        if daemon_moves > 0:
-            _daemon_local_search(partition, obj, rng, max_moves=daemon_moves)
-        energy = obj.value(partition)
-        if energy < best_energy - 1e-12:
-            best = partition.copy()
-            best_energy = energy
-            if on_improvement is not None:
-                on_improvement(best_energy, best)
-            # Backward update: reinforce internal edges of the improved
-            # partition (food found — strengthen the trail home).
-            a = partition.assignment
-            for colony in range(k):
-                internal = np.flatnonzero(
-                    (a[eu] == colony) & (a[ev] == colony)
-                )
-                if internal.size:
-                    field.deposit(colony, internal, reinforcement)
-        current_assignment = partition.assignment.copy()
-        field.evaporate(evaporation)
-    return best, best_energy
+    def _best_objective(self) -> float | None:
+        return self._run.best_energy if self._run is not None else None
+
+    def _progress_payload(self) -> dict:
+        return {"colony_iteration": self._run.it}
+
+    def _export_state(self) -> dict:
+        return self._run.export_state()
+
+    def _restore_state(self, state: dict) -> None:
+        # The placeholder skips the constructor's percolation init, so
+        # the restored rng stream is not perturbed before restore_state
+        # overwrites every field.
+        placeholder = Partition(
+            self.request.graph,
+            np.asarray(state["fallback"], dtype=np.int64),
+        )
+        self._run = self._make_run(initial_partition=placeholder)
+        self._run.restore_state(state)
+        self.phase = "colonies"
 
 
 @dataclass
@@ -257,29 +446,26 @@ class AntColonyPartitioner:
 
     name = "ant-colony"
 
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> AntColonySession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return AntColonySession(self, request, checkpoint)
+
     def partition(
         self,
         graph: Graph,
         seed: SeedLike = None,
         on_improvement: Callable[[float, Partition], None] | None = None,
     ) -> Partition:
-        """Percolation init + competing-colonies search."""
-        best, _ = ant_colony_search(
-            graph,
-            self.k,
-            objective=self.objective,
-            num_ants=self.num_ants,
-            walk_length=self.walk_length,
-            evaporation=self.evaporation,
-            deposit=self.deposit,
-            reinforcement=self.reinforcement,
-            exploration_bonus=self.exploration_bonus,
-            pheromone_power=self.pheromone_power,
-            heuristic_power=self.heuristic_power,
-            daemon_moves=self.daemon_moves,
-            iterations=self.iterations,
-            time_budget=self.time_budget,
-            seed=seed,
-            on_improvement=on_improvement,
-        )
-        return best
+        """Percolation init + competing-colonies search.
+
+        .. deprecated:: 1.2
+            Thin shim over :meth:`start` — prefer the session API
+            (events, budgets, checkpointing).  Results are identical.
+        """
+        session = self.start(SolveRequest(graph=graph, k=self.k, seed=seed))
+        if on_improvement is not None:
+            session.chain_improvement(on_improvement)
+        session.run()
+        return session.partition

@@ -1,0 +1,131 @@
+"""Structured solve events and observers.
+
+A :class:`~repro.api.session.SolveSession` narrates its progress as a
+stream of :class:`SolveEvent` records delivered synchronously to every
+registered observer (``session.subscribe(callback)``).  Event types:
+
+=============  ==============================================================
+``start``      ``run()`` entered (payload: method, k, ``resumed`` flag)
+``phase``      the solver moved to a new phase (payload: ``phase`` name)
+``iteration``  one session iteration finished (payload: per-family progress)
+``incumbent``  the best-known solution improved (``objective`` is its value)
+``checkpoint`` :meth:`~repro.api.session.SolveSession.checkpoint` was taken
+``pause``      ``run()`` returned early (budget exhausted or cancelled)
+``done``       the solver finished naturally; the session is complete
+=============  ==============================================================
+
+Observers are plain callables ``(SolveEvent) -> None``; an exception
+raised by an observer aborts the run and propagates (the engine uses the
+same convention for ``on_record``).  :class:`JsonlEventWriter` is the
+bundled file observer behind ``repro solve --events events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "SolveEvent",
+    "JsonlEventWriter",
+    "EVENT_START",
+    "EVENT_PHASE",
+    "EVENT_ITERATION",
+    "EVENT_INCUMBENT",
+    "EVENT_CHECKPOINT",
+    "EVENT_PAUSE",
+    "EVENT_DONE",
+]
+
+EVENT_START = "start"
+EVENT_PHASE = "phase"
+EVENT_ITERATION = "iteration"
+EVENT_INCUMBENT = "incumbent"
+EVENT_CHECKPOINT = "checkpoint"
+EVENT_PAUSE = "pause"
+EVENT_DONE = "done"
+
+
+@dataclass
+class SolveEvent:
+    """One progress record emitted by a solve session.
+
+    Attributes
+    ----------
+    type:
+        One of the event-type constants above.
+    iteration:
+        Session iteration count when the event fired.
+    elapsed:
+        Seconds of solve time so far (cumulative across resumes).
+    objective:
+        Best-known objective value at emission time (``None`` before the
+        first solution exists).
+    payload:
+        Event-type-specific extras (JSON-serialisable scalars only).
+    """
+
+    type: str
+    iteration: int
+    elapsed: float
+    objective: float | None = None
+    payload: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat dict view (the ``--events`` JSONL row format)."""
+        row = {
+            "event": self.type,
+            "iteration": self.iteration,
+            "elapsed": round(self.elapsed, 6),
+            "objective": self.objective,
+        }
+        row.update(self.payload)
+        return row
+
+
+class JsonlEventWriter:
+    """Observer that appends one JSON line per event to a file.
+
+    Usable directly as a ``session.subscribe`` target and as a context
+    manager::
+
+        with JsonlEventWriter("events.jsonl") as writer:
+            session.subscribe(writer)
+            session.run()
+
+    The file is opened lazily on the first event so a run that emits
+    nothing leaves no empty artifact behind.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self._opened = False
+        self.events_written = 0
+
+    def __call__(self, event: SolveEvent) -> None:
+        if self._fh is None:
+            # Truncate on the very first open only: an event arriving
+            # after close() (e.g. the checkpoint event of a post-run
+            # checkpoint) must append, not wipe the stream.
+            self._fh = self.path.open("a" if self._opened else "w")
+            self._opened = True
+        self._fh.write(json.dumps(event.as_dict()) + "\n")
+        # Flush per event: the stream exists to be tailed live, and a
+        # preempted/killed run must not lose its trailing events.
+        self._fh.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

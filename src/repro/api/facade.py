@@ -1,0 +1,195 @@
+"""Top-level entry points of the unified solver API.
+
+* :func:`get_solver` — registry-backed solver construction (every method
+  name/alias the CLI accepts).
+* :func:`as_solver` — adapt anything with a ``partition(graph, seed)``
+  method onto the :class:`Solver` protocol (the bench harness uses this
+  for its prebuilt rows).
+* :func:`solve` — one-call convenience: build, start, run, report.
+* :func:`resume` — rebuild a session from a checkpoint dict and the
+  graph it was solving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.common.exceptions import CheckpointError
+from repro.common.rng import SeedLike
+from repro.graph.graph import Graph
+from repro.api.events import SolveEvent
+from repro.api.request import Budget, SolveReport, SolveRequest
+from repro.api.session import CHECKPOINT_SCHEMA, OneShotSession, SolveSession
+
+__all__ = ["Solver", "get_solver", "as_solver", "solve", "resume"]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """The one protocol every partitioner family implements.
+
+    ``start`` opens a :class:`~repro.api.session.SolveSession` for a
+    request (optionally resuming a checkpoint); ``name`` is the
+    canonical registry name.  The legacy ``partition(graph, seed)``
+    entry points survive as thin deprecated shims over ``start``.
+    """
+
+    name: str
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> SolveSession:
+        ...
+
+
+def get_solver(method: str, k: int, **options: Any) -> Solver:
+    """Build a solver by registry name (aliases accepted).
+
+    Identical to :func:`repro.bench.registry.make_partitioner` — every
+    registered partitioner now implements the :class:`Solver` protocol.
+    """
+    from repro.bench.registry import make_partitioner
+
+    return make_partitioner(method, k, **options)
+
+
+class _LegacySolverAdapter:
+    """Wrap a bare ``partition(graph, seed)`` object onto the protocol.
+
+    Used for third-party/prebuilt partitioners that predate the session
+    API.  The whole construction runs as one session iteration; the
+    wrapped object's own ``k`` is authoritative (exactly as the engine's
+    prebuilt-spec path always behaved).
+    """
+
+    def __init__(self, partitioner: Any) -> None:
+        self.partitioner = partitioner
+        self.name = getattr(
+            partitioner, "name", type(partitioner).__name__
+        )
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> SolveSession:
+        return OneShotSession(
+            self,
+            request,
+            checkpoint,
+            build=lambda req, rng: self.partitioner.partition(
+                req.graph, seed=rng
+            ),
+        )
+
+
+def as_solver(obj: Any) -> Solver:
+    """Coerce ``obj`` to the :class:`Solver` protocol.
+
+    Objects that already expose ``start`` pass through; anything with a
+    ``partition`` method is wrapped in a one-shot adapter.
+    """
+    if hasattr(obj, "start"):
+        return obj
+    if hasattr(obj, "partition"):
+        return _LegacySolverAdapter(obj)
+    raise TypeError(
+        f"{type(obj).__name__} is neither a Solver (no .start) nor a "
+        "legacy partitioner (no .partition)"
+    )
+
+
+def solve(
+    graph: Graph,
+    k: int,
+    method: str = "fusion-fission",
+    *,
+    objective: str | None = None,
+    seed: SeedLike = None,
+    budget: Budget | None = None,
+    balance_tolerance: float | None = None,
+    observers: tuple[Callable[[SolveEvent], None], ...] = (),
+    name: str = "graph",
+    **options: Any,
+) -> SolveReport:
+    """One-call solve: build the solver, run a session, return the report.
+
+    Extra ``options`` go to the solver constructor (e.g.
+    ``max_steps=500`` for fusion–fission).
+
+    Examples
+    --------
+    >>> from repro.graph import weighted_caveman_graph
+    >>> from repro.api import solve
+    >>> report = solve(weighted_caveman_graph(4, 6), k=4,
+    ...                method="multilevel", seed=0)
+    >>> report.status
+    'done'
+    >>> report.partition.num_parts
+    4
+    """
+    solver = get_solver(method, k, **options)
+    request = SolveRequest(
+        graph=graph,
+        k=k,
+        objective=objective,
+        balance_tolerance=balance_tolerance,
+        seed=seed,
+        budget=budget or Budget(),
+        name=name,
+    )
+    session = solver.start(request)
+    for observer in observers:
+        session.subscribe(observer)
+    return session.run()
+
+
+def resume(
+    graph: Graph,
+    checkpoint: dict,
+    *,
+    budget: Budget | None = None,
+    observers: tuple[Callable[[SolveEvent], None], ...] = (),
+) -> SolveSession:
+    """Rebuild a paused session from a checkpoint dict.
+
+    The checkpoint stores the method name and constructor options, so
+    only the graph (never serialised) must be supplied.  The returned
+    session continues exactly where :meth:`SolveSession.checkpoint` left
+    off — same seed + same checkpoint → same final partition.
+    """
+    if not isinstance(checkpoint, dict):
+        raise CheckpointError(
+            f"checkpoint must be a dict, got {type(checkpoint).__name__}"
+        )
+    if checkpoint.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"unsupported checkpoint schema {checkpoint.get('schema')!r} "
+            f"(expected {CHECKPOINT_SCHEMA!r})"
+        )
+    try:
+        method = checkpoint["method"]
+        k = int(checkpoint["k"])
+        options = dict(checkpoint.get("options") or {})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint header is malformed: {type(exc).__name__}: {exc}"
+        ) from exc
+    try:
+        solver = get_solver(method, k, **options)
+    except TypeError as exc:
+        # e.g. a tampered checkpoint whose options belong to a different
+        # method than its header claims.
+        raise CheckpointError(
+            f"checkpoint options do not fit method {method!r}: {exc}"
+        ) from exc
+    request = SolveRequest(
+        graph=graph,
+        k=k,
+        objective=checkpoint.get("objective"),
+        seed=None,  # the restored rng state is authoritative
+        budget=budget or Budget(),
+        name=checkpoint.get("name", "graph"),
+    )
+    session = solver.start(request, checkpoint=checkpoint)
+    for observer in observers:
+        session.subscribe(observer)
+    return session

@@ -1,0 +1,247 @@
+"""The request/report halves of the unified solver API.
+
+:class:`SolveRequest` is the one value a caller hands to any solver:
+graph, part count, objective, balance tolerance, seed and budgets.
+:class:`SolveReport` is what a finished (or paused) session hands back:
+the best partition plus status, iteration/time accounting and the full
+paper-criteria metrics.  Both are plain dataclasses so they ship across
+process boundaries and serialise into JSON reports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike
+from repro.graph.graph import Graph
+from repro.partition.metrics import PartitionReport
+from repro.partition.partition import Partition
+
+__all__ = [
+    "Budget",
+    "SolveRequest",
+    "SolveReport",
+    "parse_duration",
+    "STATUS_RUNNING",
+    "STATUS_DONE",
+    "STATUS_CANCELLED",
+]
+
+#: Session status values (``SolveSession.status`` / ``SolveReport.status``).
+STATUS_RUNNING = "running"      # preemptible: more work remains
+STATUS_DONE = "done"            # the solver finished naturally
+STATUS_CANCELLED = "cancelled"  # ``cancel()`` was honoured
+
+_DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(ms|s|m|h)?\s*$")
+_DURATION_UNITS = {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0, None: 1.0}
+
+
+def parse_duration(text: str | float | int | None) -> float | None:
+    """Parse ``"2s"`` / ``"500ms"`` / ``"1.5m"`` / plain seconds.
+
+    ``None`` passes through (no budget).  Raises
+    :class:`~repro.common.exceptions.ConfigurationError` on junk so CLI
+    typos fail with the accepted grammar in the message.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        match = _DURATION_RE.match(text)
+        if match is None:
+            raise ConfigurationError(
+                f"cannot parse duration {text!r} "
+                "(expected e.g. '2', '2s', '500ms', '1.5m', '1h')"
+            )
+        value = float(match.group(1)) * _DURATION_UNITS[match.group(2)]
+    if value <= 0:
+        raise ConfigurationError(f"duration must be > 0, got {value}")
+    return value
+
+
+@dataclass
+class Budget:
+    """Cooperative resource limits for one solve session.
+
+    Both limits are *session-total*: a resumed session keeps counting
+    from the checkpointed iteration and elapsed time, so
+    ``Budget(max_iterations=100)`` means 100 iterations across every
+    ``run()`` call and resume, not per call.
+
+    Attributes
+    ----------
+    max_seconds:
+        Wall-clock ceiling; the session pauses (status stays
+        ``running``) at the first iteration boundary past it.
+    max_iterations:
+        Session-iteration ceiling, same pause semantics.
+    """
+
+    max_seconds: float | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ConfigurationError(
+                f"max_seconds must be > 0, got {self.max_seconds}"
+            )
+        if self.max_iterations is not None and self.max_iterations < 0:
+            raise ConfigurationError(
+                f"max_iterations must be >= 0, got {self.max_iterations}"
+            )
+
+    def bounded(self) -> bool:
+        """True when either limit is set."""
+        return self.max_seconds is not None or self.max_iterations is not None
+
+    def as_dict(self) -> dict:
+        return {
+            "max_seconds": self.max_seconds,
+            "max_iterations": self.max_iterations,
+        }
+
+
+@dataclass
+class SolveRequest:
+    """Everything a solver needs to produce one partition.
+
+    Attributes
+    ----------
+    graph:
+        The CSR graph to partition.
+    k:
+        Target number of parts.
+    objective:
+        Criterion for the metaheuristics (``"cut"``/``"ncut"``/
+        ``"mcut"``); ``None`` keeps each solver's configured default.
+        Direct constructions (linear, spectral, multilevel, percolation)
+        ignore it, exactly as their constructors always have.
+    balance_tolerance:
+        Advisory part-weight imbalance bound carried into solvers that
+        support one (the multilevel refiner); ``None`` keeps defaults.
+    seed:
+        Anything :func:`~repro.common.rng.ensure_rng` accepts.
+    budget:
+        Session-level cooperative limits (see :class:`Budget`).
+    name:
+        Free-form instance label carried into reports and events.
+    """
+
+    graph: Graph
+    k: int
+    objective: str | None = None
+    balance_tolerance: float | None = None
+    seed: SeedLike = None
+    budget: Budget = field(default_factory=Budget)
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.k > self.graph.num_vertices:
+            raise ConfigurationError(
+                f"k={self.k} exceeds the vertex count "
+                f"({self.graph.num_vertices})"
+            )
+        if self.objective is not None:
+            self.objective = str(self.objective).strip().lower()
+        if self.balance_tolerance is not None and self.balance_tolerance <= 0:
+            raise ConfigurationError(
+                f"balance_tolerance must be > 0, got {self.balance_tolerance}"
+            )
+        if self.budget is None:
+            self.budget = Budget()
+
+    def as_dict(self) -> dict:
+        """Request metadata for reports/events (no graph payload)."""
+        return {
+            "name": self.name,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "k": self.k,
+            "objective": self.objective,
+            "balance_tolerance": self.balance_tolerance,
+            "budget": self.budget.as_dict(),
+        }
+
+
+@dataclass
+class SolveReport:
+    """Outcome of (so far) one solve session.
+
+    Attributes
+    ----------
+    method:
+        Canonical solver name that produced the result.
+    status:
+        ``"done"``, ``"running"`` (paused on a budget) or
+        ``"cancelled"``.
+    objective:
+        Name of the criterion ``objective_value`` is measured on.
+    objective_value:
+        Best-known value (lower is better; ``inf`` when no solution
+        exists yet).
+    partition:
+        The best :class:`~repro.partition.Partition` (``None`` only when
+        a bounded run paused before producing any solution).
+    metrics:
+        Full paper-criteria :class:`~repro.partition.metrics
+        .PartitionReport` of that partition.
+    iterations, seconds, events:
+        Session accounting (cumulative across resumes).
+    """
+
+    method: str
+    status: str
+    objective: str
+    objective_value: float = math.inf
+    partition: Partition | None = None
+    metrics: PartitionReport | None = None
+    iterations: int = 0
+    seconds: float = 0.0
+    events: int = 0
+
+    @property
+    def assignment(self) -> np.ndarray | None:
+        """Part id per vertex of the best partition (``None`` if none)."""
+        if self.partition is None:
+            return None
+        return self.partition.assignment
+
+    @property
+    def ok(self) -> bool:
+        """True when the report carries a partition."""
+        return self.partition is not None
+
+    def as_dict(self, include_assignment: bool = False) -> dict:
+        """JSON-serialisable view (schema ``repro-solve-report/v1``)."""
+        from repro import __version__
+
+        payload: dict[str, Any] = {
+            "schema": "repro-solve-report/v1",
+            "version": __version__,
+            "method": self.method,
+            "status": self.status,
+            "objective": self.objective,
+            "objective_value": (
+                self.objective_value
+                if math.isfinite(self.objective_value) else None
+            ),
+            "num_parts": (
+                self.partition.num_parts if self.partition is not None else 0
+            ),
+            "iterations": self.iterations,
+            "seconds": self.seconds,
+            "events": self.events,
+            "metrics": self.metrics.as_dict() if self.metrics else None,
+        }
+        if include_assignment and self.partition is not None:
+            payload["assignment"] = [int(p) for p in self.partition.assignment]
+        return payload

@@ -1,0 +1,583 @@
+"""Run sessions: stepping, events, budgets, checkpoint/resume.
+
+A :class:`SolveSession` is the live execution of one
+:class:`~repro.api.request.SolveRequest` by one solver.  It is created by
+``solver.start(request)`` and drives the solver's stepper through
+:meth:`step`/:meth:`run`, emitting :class:`~repro.api.events.SolveEvent`
+records to registered observers, honouring wall-clock/iteration budgets
+with cooperative pause semantics, and serialising its full state into a
+JSON checkpoint that :func:`repro.api.resume` restores deterministically.
+
+Determinism contract
+--------------------
+For a session over a graph with **integral edge weights** (every graph
+the test suite pins seeds on), the following three runs produce
+bit-identical final partitions:
+
+1. the deprecated ``partitioner.partition(graph, seed)`` shim,
+2. ``solver.start(request).run()`` uninterrupted,
+3. run-to-iteration-``i`` → ``checkpoint()`` → JSON round-trip →
+   ``resume`` → ``run()``.
+
+The shims guarantee (1)≡(2) structurally — they *are* session runs.  For
+(3) the checkpoint stores the numpy bit-generator state verbatim plus
+every float the solver threads through comparisons (energies are
+round-tripped exactly by JSON's shortest-repr float encoding); partitions
+are rebuilt from their assignment arrays, whose derived aggregates are
+exact for integral weights regardless of summation order.  Graphs with
+arbitrary float weights resume to within accumulation ulps — documented,
+not guaranteed bit-for-bit.
+
+Wall-clock budgets restart from the checkpointed *cumulative* elapsed
+time, so ``Budget(max_seconds=10)`` spans resumes too.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.exceptions import CheckpointError, ReproError
+from repro.common.rng import ensure_rng
+from repro.common.timer import Deadline
+from repro.api.events import (
+    EVENT_CHECKPOINT,
+    EVENT_DONE,
+    EVENT_INCUMBENT,
+    EVENT_ITERATION,
+    EVENT_PAUSE,
+    EVENT_PHASE,
+    EVENT_START,
+    SolveEvent,
+)
+from repro.api.request import (
+    STATUS_CANCELLED,
+    STATUS_DONE,
+    STATUS_RUNNING,
+    SolveReport,
+    SolveRequest,
+)
+from repro.partition.metrics import evaluate_partition
+from repro.partition.partition import Partition
+
+__all__ = [
+    "SolveSession",
+    "OneShotSession",
+    "CHECKPOINT_SCHEMA",
+    "encode_rng",
+    "decode_rng",
+]
+
+CHECKPOINT_SCHEMA = "repro-solve-checkpoint/v1"
+
+#: Sentinel distinguishing "use the request budget" from an explicit None
+#: ("unlimited") in :meth:`SolveSession.run` overrides.
+_UNSET: Any = object()
+
+
+def encode_rng(rng: np.random.Generator) -> dict:
+    """JSON-serialisable snapshot of a numpy generator's exact state.
+
+    Captures both the bit-generator word state *and* the seed-sequence
+    lineage (entropy, spawn key, children spawned): ``Generator.spawn``
+    — the repository's convention for handing independent child streams
+    to nested components — draws from the seed sequence, not the word
+    state, so restoring only ``bit_generator.state`` would replay the
+    stream but spawn different children.
+    """
+    state = {"state": rng.bit_generator.state}
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        entropy = seed_seq.entropy
+        state["seed_seq"] = {
+            "entropy": (
+                list(entropy) if isinstance(entropy, (list, tuple))
+                else entropy
+            ),
+            "spawn_key": list(seed_seq.spawn_key),
+            "pool_size": seed_seq.pool_size,
+            "n_children_spawned": seed_seq.n_children_spawned,
+        }
+    return state
+
+
+def decode_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator from :func:`encode_rng` output (bit-exact)."""
+    try:
+        word_state = state["state"]
+        cls = getattr(np.random, word_state["bit_generator"])
+        seed_seq_state = state.get("seed_seq")
+        if seed_seq_state is not None:
+            entropy = seed_seq_state["entropy"]
+            seed_seq = np.random.SeedSequence(
+                entropy=entropy,
+                spawn_key=tuple(seed_seq_state["spawn_key"]),
+                pool_size=int(seed_seq_state["pool_size"]),
+                n_children_spawned=int(
+                    seed_seq_state["n_children_spawned"]
+                ),
+            )
+            bit_generator = cls(seed_seq)
+        else:
+            bit_generator = cls()
+        bit_generator.state = word_state
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint rng state is malformed: {type(exc).__name__}: {exc}"
+        ) from exc
+    return np.random.Generator(bit_generator)
+
+
+class SolveSession(ABC):
+    """One live solve: stepping, events, budgets, checkpointing.
+
+    Subclasses implement the five solver hooks (``_setup``, ``_advance``,
+    ``_export_state``, ``_restore_state``, ``_best_partition``) plus the
+    ``phase`` attribute; everything user-facing — :meth:`step`,
+    :meth:`run`, :meth:`subscribe`, :meth:`cancel`, :meth:`checkpoint`,
+    :meth:`report` — lives here and behaves identically across all six
+    solver families.
+
+    Parameters
+    ----------
+    solver:
+        The solver that created this session (exposes ``name`` and the
+        configured hyper-parameters).
+    request:
+        The :class:`~repro.api.request.SolveRequest` being solved.
+    checkpoint:
+        Optional checkpoint dict (from :meth:`checkpoint`, possibly JSON
+        round-tripped) to resume from instead of a fresh start.
+    """
+
+    #: Human-readable name of the phase the solver is currently in;
+    #: subclasses update it through :meth:`_set_phase`.
+    phase: str = "setup"
+
+    def __init__(
+        self,
+        solver: Any,
+        request: SolveRequest,
+        checkpoint: dict | None = None,
+    ) -> None:
+        self.solver = solver
+        self.request = request
+        self.method: str = getattr(solver, "name", type(solver).__name__)
+        self.status: str = STATUS_RUNNING
+        self.iteration = 0
+        self.events_emitted = 0
+        self._observers: list[Callable[[SolveEvent], None]] = []
+        self._cancelled = False
+        self._elapsed_offset = 0.0
+        self._clock_start: float | None = time.perf_counter()
+        if checkpoint is None:
+            self.rng = ensure_rng(request.seed)
+            self._setup()
+        else:
+            self._load_checkpoint(checkpoint)
+        self._clock_pause()
+
+    # -- solver hooks ------------------------------------------------------
+    @abstractmethod
+    def _setup(self) -> None:
+        """Build the initial solver state (fresh sessions only).
+
+        Every random draw must go through ``self.rng`` so the session
+        replays the exact stream of the legacy ``partition`` entry point.
+        """
+
+    @abstractmethod
+    def _advance(self) -> bool:
+        """Perform one session iteration; return True while work remains."""
+
+    @abstractmethod
+    def _export_state(self) -> dict:
+        """JSON-serialisable solver state (everything but the rng)."""
+
+    @abstractmethod
+    def _restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`_export_state` against ``request.graph``."""
+
+    @abstractmethod
+    def _best_partition(self) -> Partition | None:
+        """Best-known partition, or ``None`` before one exists."""
+
+    def _objective_name(self) -> str:
+        """Criterion name reported for this session."""
+        return (
+            self.request.objective
+            or getattr(self.solver, "objective", None)
+            or "mcut"
+        )
+
+    def _best_objective(self) -> float | None:
+        """Best-known objective value (hook; default: None until done)."""
+        return None
+
+    def _progress_payload(self) -> dict:
+        """Per-family extras attached to iteration events."""
+        return {}
+
+    # -- observers & events ------------------------------------------------
+    def subscribe(
+        self, observer: Callable[[SolveEvent], None]
+    ) -> Callable[[SolveEvent], None]:
+        """Register an event observer; returns it for later unsubscribe."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Callable[[SolveEvent], None]) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _emit(
+        self, type_: str, objective: float | None = None, **payload: Any
+    ) -> None:
+        if objective is None:
+            objective = self._best_objective()
+        event = SolveEvent(
+            type=type_,
+            iteration=self.iteration,
+            elapsed=self.elapsed(),
+            objective=objective,
+            payload=payload,
+        )
+        self.events_emitted += 1
+        for observer in list(self._observers):
+            observer(event)
+
+    def _set_phase(self, phase: str) -> None:
+        """Switch phases, emitting a ``phase`` event on actual change."""
+        if phase != self.phase:
+            self.phase = phase
+            self._emit(EVENT_PHASE, phase=phase)
+
+    def _incumbent_improved(self, objective: float, **payload: Any) -> None:
+        """Solver steppers call this whenever the best solution improves."""
+        self._emit(EVENT_INCUMBENT, objective=objective, **payload)
+
+    def chain_improvement(
+        self, callback: Callable[[float, Partition], None]
+    ) -> None:
+        """Chain a legacy ``(value, best_partition)`` callback onto the
+        session's incumbent wiring.
+
+        Only meaningful for stepper-based sessions (the iterative
+        families expose their loop as ``self._run`` with an
+        ``on_improvement`` hook); the deprecated ``partition`` shims use
+        this to keep their historical ``on_improvement`` argument.
+        """
+        run = getattr(self, "_run", None)
+        if run is None:
+            raise ReproError(
+                f"session ({self.method}) has no incumbent stream to "
+                "chain a callback onto"
+            )
+        emit = run.on_improvement
+
+        def chained(value: float, best: Partition) -> None:
+            if emit is not None:
+                emit(value, best)
+            callback(value, best)
+
+        run.on_improvement = chained
+
+    # -- time accounting ----------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds of *solve* time, cumulative across checkpoint/resume.
+
+        The clock only runs inside setup and :meth:`step` — a session
+        held paused in-process (between ``run()`` calls) accrues nothing,
+        so ``Budget.max_seconds`` measures work, not idle wall time.
+        """
+        running = 0.0
+        if self._clock_start is not None:
+            running = time.perf_counter() - self._clock_start
+        return self._elapsed_offset + running
+
+    def _clock_resume(self) -> None:
+        if self._clock_start is None:
+            self._clock_start = time.perf_counter()
+
+    def _clock_pause(self) -> None:
+        if self._clock_start is not None:
+            self._elapsed_offset += time.perf_counter() - self._clock_start
+            self._clock_start = None
+
+    # -- control ------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation (honoured at the next
+        iteration boundary; safe to call from an observer)."""
+        self._cancelled = True
+
+    @property
+    def done(self) -> bool:
+        """True once the solver finished naturally."""
+        return self.status == STATUS_DONE
+
+    def step(self) -> bool:
+        """Advance one iteration; return True while more work remains.
+
+        Emits one ``iteration`` event per call (plus any ``incumbent``/
+        ``phase`` events the solver raised inside).  A finished or
+        cancelled session returns False without touching solver state.
+        """
+        if self.status != STATUS_RUNNING:
+            return False
+        if self._cancelled:
+            self.status = STATUS_CANCELLED
+            return False
+        self._clock_resume()
+        try:
+            more = self._advance()
+            self.iteration += 1
+            self._emit(EVENT_ITERATION, **self._progress_payload())
+            if not more:
+                self.status = STATUS_DONE
+                self._set_phase("done")
+                self._emit(EVENT_DONE)
+            elif self._cancelled:
+                self.status = STATUS_CANCELLED
+        finally:
+            self._clock_pause()
+        return self.status == STATUS_RUNNING
+
+    def run(
+        self,
+        max_seconds: float | None = _UNSET,
+        max_iterations: int | None = _UNSET,
+    ) -> SolveReport:
+        """Drive :meth:`step` until done, cancelled, or out of budget.
+
+        ``max_seconds``/``max_iterations`` override the request's budget
+        for this call (pass ``None`` explicitly for "unlimited"); both
+        are session-total limits (iteration counts and elapsed time
+        carry across resumes).  Exhausting a budget *pauses* the session
+        — status stays ``running`` and a later ``run()`` (or a
+        checkpoint/resume cycle) continues the work.
+        """
+        budget = self.request.budget
+        if max_seconds is _UNSET:
+            max_seconds = budget.max_seconds
+        if max_iterations is _UNSET:
+            max_iterations = budget.max_iterations
+        self._emit(
+            EVENT_START,
+            method=self.method,
+            k=self.request.k,
+            criterion=self._objective_name(),
+            resumed=self.iteration > 0,
+        )
+        remaining = None
+        if max_seconds is not None:
+            remaining = max_seconds - self.elapsed()
+        deadline = Deadline(remaining)
+        pause_reason = None
+        while self.status == STATUS_RUNNING:
+            if self._cancelled:
+                self.status = STATUS_CANCELLED
+                break
+            if max_iterations is not None and self.iteration >= max_iterations:
+                pause_reason = "iteration budget exhausted"
+                break
+            if deadline.expired():
+                pause_reason = "time budget exhausted"
+                break
+            self.step()
+        if self.status == STATUS_CANCELLED:
+            self._emit(EVENT_PAUSE, reason="cancelled")
+        elif pause_reason is not None:
+            self._emit(EVENT_PAUSE, reason=pause_reason)
+        return self.report()
+
+    # -- results ------------------------------------------------------------
+    @property
+    def partition(self) -> Partition:
+        """The best-known partition (raises before one exists)."""
+        best = self._best_partition()
+        if best is None:
+            raise ReproError(
+                f"session ({self.method}) has no partition yet — "
+                "run() or step() it first"
+            )
+        return best
+
+    def report(self) -> SolveReport:
+        """Snapshot the session into a :class:`SolveReport`."""
+        best = self._best_partition()
+        objective = self._objective_name()
+        value = self._best_objective()
+        metrics = None
+        if best is not None:
+            metrics = evaluate_partition(best)
+            if value is None:
+                value = float(getattr(metrics, objective))
+        return SolveReport(
+            method=self.method,
+            status=self.status,
+            objective=objective,
+            objective_value=float("inf") if value is None else float(value),
+            partition=best,
+            metrics=metrics,
+            iterations=self.iteration,
+            seconds=self.elapsed(),
+            events=self.events_emitted,
+        )
+
+    # -- checkpoint / resume -------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialise the full session state to a JSON-compatible dict.
+
+        The dict (schema ``repro-solve-checkpoint/v1``) carries the
+        method name and constructor options needed to rebuild the
+        solver, the exact rng state, and the solver's own state export —
+        ``json.dumps`` → ``json.loads`` → :func:`repro.api.resume`
+        continues the run deterministically.
+        """
+        from repro import __version__
+
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "version": __version__,
+            "method": self.method,
+            "options": solver_options(self.solver),
+            "graph": {
+                "num_vertices": self.request.graph.num_vertices,
+                "num_edges": self.request.graph.num_edges,
+            },
+            "k": self.request.k,
+            "objective": self.request.objective,
+            "name": self.request.name,
+            "status": self.status,
+            "iteration": self.iteration,
+            "elapsed": self.elapsed(),
+            "phase": self.phase,
+            "rng": encode_rng(self.rng),
+            "state": self._export_state(),
+        }
+        self._emit(EVENT_CHECKPOINT)
+        return payload
+
+    def _load_checkpoint(self, checkpoint: dict) -> None:
+        if not isinstance(checkpoint, dict):
+            raise CheckpointError(
+                f"checkpoint must be a dict, got {type(checkpoint).__name__}"
+            )
+        schema = checkpoint.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(expected {CHECKPOINT_SCHEMA!r})"
+            )
+        method = checkpoint.get("method")
+        if method != self.method:
+            raise CheckpointError(
+                f"checkpoint was taken by method {method!r}, "
+                f"cannot resume with {self.method!r}"
+            )
+        if checkpoint.get("k") != self.request.k:
+            raise CheckpointError(
+                f"checkpoint is for k={checkpoint.get('k')}, "
+                f"request asks k={self.request.k}"
+            )
+        fingerprint = checkpoint.get("graph")
+        if fingerprint is not None:
+            graph = self.request.graph
+            if (
+                fingerprint.get("num_vertices") != graph.num_vertices
+                or fingerprint.get("num_edges") != graph.num_edges
+            ):
+                raise CheckpointError(
+                    "checkpoint was taken on a different graph "
+                    f"(n={fingerprint.get('num_vertices')}, "
+                    f"m={fingerprint.get('num_edges')}; the request's has "
+                    f"n={graph.num_vertices}, m={graph.num_edges})"
+                )
+        try:
+            self.rng = decode_rng(checkpoint["rng"])
+            self.iteration = int(checkpoint["iteration"])
+            self.status = str(checkpoint["status"])
+            self._elapsed_offset = float(checkpoint.get("elapsed", 0.0))
+            self.phase = str(checkpoint.get("phase", "setup"))
+            self._restore_state(checkpoint["state"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint state is malformed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+
+def solver_options(solver: Any) -> dict:
+    """Constructor options of a solver, as JSON-serialisable scalars.
+
+    Dataclass solvers export every scalar field except ``k`` (the
+    checkpoint stores ``k`` separately); anything non-scalar — ablation
+    lambdas are rebuilt from the scalars that requested them — is
+    dropped.  Non-dataclass solvers export nothing.
+    """
+    import dataclasses
+
+    if not dataclasses.is_dataclass(solver):
+        return {}
+    options = {}
+    for f in dataclasses.fields(solver):
+        if f.name == "k":
+            continue
+        value = getattr(solver, f.name)
+        if isinstance(value, (bool, int, float, str, type(None))):
+            options[f.name] = value
+    return options
+
+
+class OneShotSession(SolveSession):
+    """Session adapter for direct-construction solvers.
+
+    Linear, spectral, multilevel and percolation compute their partition
+    in one piece — there is no inner loop to suspend.  The session runs
+    them as a single-iteration program: a checkpoint taken *before* the
+    iteration captures only the rng state (resume recomputes the whole
+    construction from it, bit-identically); a checkpoint taken after
+    carries the finished assignment.
+    """
+
+    def __init__(
+        self,
+        solver: Any,
+        request: SolveRequest,
+        checkpoint: dict | None = None,
+        build: Callable[[SolveRequest, np.random.Generator], Partition]
+        | None = None,
+    ) -> None:
+        self._build = build or (
+            lambda req, rng: solver.partition(req.graph, seed=rng)
+        )
+        self._result: Partition | None = None
+        super().__init__(solver, request, checkpoint)
+
+    def _setup(self) -> None:
+        self._set_phase("construct")
+
+    def _advance(self) -> bool:
+        self._result = self._build(self.request, self.rng)
+        return False
+
+    def _best_partition(self) -> Partition | None:
+        return self._result
+
+    def _export_state(self) -> dict:
+        assignment = None
+        if self._result is not None:
+            assignment = [int(p) for p in self._result.assignment]
+        return {"assignment": assignment}
+
+    def _restore_state(self, state: dict) -> None:
+        assignment = state.get("assignment")
+        if assignment is not None:
+            self._result = Partition(
+                self.request.graph, np.asarray(assignment, dtype=np.int64)
+            )

@@ -186,7 +186,15 @@ def main(argv: list[str] | None = None) -> None:
                                jobs=args.jobs)
     print(format_figure(traces, refs, args.budget))
     if args.json:
+        from repro import __version__
+
         payload = {
+            # Schema + version stamp (repro-bench-perf/v1 convention) so
+            # downstream consumers can detect format drift.
+            "schema": "repro-bench-figure1/v1",
+            "version": __version__,
+            "config": {"k": args.k, "seed": args.seed,
+                       "budget": args.budget, "jobs": args.jobs},
             "traces": [t.as_dict() for t in traces],
             "references": refs,
         }

@@ -7,6 +7,13 @@ executes on the engine — sequentially by default, or on a process pool
 with ``jobs > 1`` (the Table-1/Figure-1 benches pass ``--jobs`` through
 and get multi-core for free).  Seed derivation is unchanged from the
 pre-engine harness: one generator spawned per method, in row order.
+
+Both paths now run on the :mod:`repro.api` session layer —
+:func:`run_method` drives one entrant as ``as_solver(partitioner)
+.start(request).run()``, and the engine's ``execute_task`` does the same
+per grid cell — so every bench row carries the uniform per-iteration
+telemetry of the unified API while producing the exact partitions the
+pre-session harness did.
 """
 
 from __future__ import annotations
@@ -17,7 +24,6 @@ from repro.common.exceptions import ReproError
 from repro.common.rng import SeedLike, ensure_rng
 from repro.common.timer import Timer
 from repro.graph.graph import Graph
-from repro.partition.metrics import evaluate_partition
 
 __all__ = ["MethodResult", "run_method", "run_suite", "format_table"]
 
@@ -50,10 +56,16 @@ class MethodResult:
 
 
 def run_method(label: str, partitioner, graph: Graph, seed: SeedLike = None) -> MethodResult:
-    """Run one partitioner and score it on all three criteria."""
+    """Run one partitioner through the session API; score on all criteria."""
+    from repro.api import SolveRequest, as_solver
+
+    solver = as_solver(partitioner)
+    k = int(getattr(partitioner, "k", 1))
+    request = SolveRequest(graph=graph, k=k, seed=seed, name=label)
     with Timer() as timer:
-        partition = partitioner.partition(graph, seed=seed)
-    report = evaluate_partition(partition)
+        # The session report carries the full evaluate_partition metrics;
+        # no second scoring pass needed.
+        report = solver.start(request).run().metrics
     return MethodResult(
         label=label,
         cut=report.cut,

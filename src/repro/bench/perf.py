@@ -24,6 +24,10 @@ Benchmarks
   multilevel level (no reference; absolute throughput).
 * ``ff_step``         — fusion–fission main-loop steps/second on a
   community graph (no reference; absolute throughput).
+* ``ff_initialize``   — Algorithm-2 molecule initialisation with the
+  vectorized matched-prelude cascade vs the exact O(n²)-ish law loop
+  (the hot spot PR 4 left behind).  Verification checks both cascades
+  reach the target atom count; the partitions differ by design.
 
 Run ``repro bench perf [--quick] [--json OUT]`` or
 ``python -m repro.bench.perf``.  ``BENCH_PR4.json`` at the repo root is
@@ -319,6 +323,38 @@ def _bench_ff_step(n: int, k: int, reps) -> PerfRecord:
     )
 
 
+def _bench_ff_initialize(graph: Graph, k: int, reps) -> PerfRecord:
+    from repro.fusionfission.core import initialize_molecule
+    from repro.fusionfission.energy import ScaledEnergy
+    from repro.fusionfission.laws import LawTable
+
+    n = graph.num_vertices
+
+    def run(cascade: str):
+        energy = ScaledEnergy(n, k, objective="mcut")
+        laws = LawTable(n)
+        return initialize_molecule(
+            graph, k, laws, energy, seed=0, cascade=cascade
+        )
+
+    p_fast = run("matched")
+    p_ref = run("law")
+    matches = bool(p_fast.num_parts == k and p_ref.num_parts == k)
+
+    sec = _best_of(lambda: run("matched"), reps)
+    ref = _best_of(lambda: run("law"), reps)
+    return PerfRecord(
+        name="ff_initialize",
+        n=n, m=graph.num_edges, k=k, reps=reps,
+        seconds=sec, ops_per_second=n / sec,
+        unit="vertices/s",
+        reference_seconds=ref, speedup=ref / sec,
+        matches_reference=matches,
+        notes="Algorithm-2 cascade: matched prelude vs exact law loop "
+              "(check = both reach the target k; partitions differ by design)",
+    )
+
+
 def effective_params(n: int, reps: int, quick: bool) -> tuple[int, int]:
     """The (n, reps) actually used — quick mode clamps both."""
     if quick:
@@ -345,6 +381,7 @@ def run_perf_suite(
         _bench_objective_delta(graph, assignment, k, reps, "cut"),
         _bench_coarsen_level(graph, reps),
         _bench_ff_step(n, k, reps),
+        _bench_ff_initialize(graph, k, reps),
     ]
     return records
 
@@ -369,8 +406,11 @@ def format_perf_table(records: list[PerfRecord]) -> str:
 
 def perf_report(records: list[PerfRecord], config: dict) -> dict:
     """JSON-serialisable report (the ``BENCH_*.json`` schema)."""
+    from repro import __version__
+
     return {
         "schema": SCHEMA,
+        "version": __version__,
         "config": config,
         "env": {
             "python": platform.python_version(),

@@ -25,6 +25,7 @@ __all__ = [
     "budget_options",
     "list_methods",
     "make_partitioner",
+    "make_solver",
     "table1_methods",
 ]
 
@@ -111,14 +112,35 @@ METAHEURISTICS = frozenset(
 )
 
 
+def _known_methods_text() -> str:
+    """``canonical (aliases: …)`` lines for unknown-method errors."""
+    rows = []
+    for name in sorted(METHOD_FACTORIES):
+        aliases = sorted(a for a, c in METHOD_ALIASES.items() if c == name)
+        rows.append(
+            f"{name} (aliases: {', '.join(aliases)})" if aliases else name
+        )
+    return "; ".join(rows)
+
+
 def canonical_method(method: str) -> str:
-    """Resolve a method name or alias to its canonical registry key."""
-    key = method.strip().lower()
+    """Resolve a method name or alias to its canonical registry key.
+
+    Unknown names raise a :class:`ConfigurationError` that lists every
+    canonical method with its aliases (and a close-match suggestion when
+    one exists) — never a bare ``KeyError``.
+    """
+    key = str(method).strip().lower()
     key = METHOD_ALIASES.get(key, key)
     if key not in METHOD_FACTORIES:
-        known = sorted(METHOD_FACTORIES) + sorted(METHOD_ALIASES)
+        import difflib
+
+        candidates = list(METHOD_FACTORIES) + list(METHOD_ALIASES)
+        close = difflib.get_close_matches(key, candidates, n=1, cutoff=0.6)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ConfigurationError(
-            f"unknown method {method!r}; choose from {known}"
+            f"unknown method {method!r}{hint}; known methods: "
+            f"{_known_methods_text()}"
         )
     return key
 
@@ -152,8 +174,20 @@ def budget_options(method: str, time_budget: float | None) -> dict[str, Any]:
 
 
 def make_partitioner(method: str, k: int, **options: Any):
-    """Instantiate a partitioner by registry name (aliases accepted)."""
+    """Instantiate a partitioner by registry name (aliases accepted).
+
+    Every registered partitioner implements the
+    :class:`repro.api.Solver` protocol (``start(request) ->
+    SolveSession``) in addition to the deprecated ``partition`` shim, so
+    this doubles as the solver factory behind
+    :func:`repro.api.get_solver`.
+    """
     return METHOD_FACTORIES[canonical_method(method)](k, **options)
+
+
+def make_solver(method: str, k: int, **options: Any):
+    """Alias of :func:`make_partitioner` under its session-API name."""
+    return make_partitioner(method, k, **options)
 
 
 def table1_methods(

@@ -64,8 +64,19 @@ def main(argv: list[str] | None = None) -> None:
               f"seed={args.seed}; Cut divided by 1000)",
     ))
     if args.json:
+        from repro import __version__
+
+        payload = {
+            # Schema + version stamp (repro-bench-perf/v1 convention) so
+            # downstream consumers can detect format drift.
+            "schema": "repro-bench-table1/v1",
+            "version": __version__,
+            "config": {"k": args.k, "seed": args.seed,
+                       "budget": args.budget, "jobs": args.jobs},
+            "results": [r.as_dict() for r in results],
+        }
         with open(args.json, "w") as fh:
-            json.dump([r.as_dict() for r in results], fh, indent=2)
+            json.dump(payload, fh, indent=2)
 
 
 if __name__ == "__main__":

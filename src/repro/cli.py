@@ -1,7 +1,9 @@
 """Command-line interface.
 
-Six subcommands, mirroring how Chaco/Metis are driven from the shell::
+Seven subcommands, mirroring how Chaco/Metis are driven from the shell::
 
+    repro solve INPUT -k 32 --method ff --budget 2s --events events.jsonl \\
+                --checkpoint ck.json
     repro partition INPUT -k 32 --method fusion-fission -o parts.txt
     repro portfolio INPUT -k 32 --methods ff,annealing --seeds 4 --jobs 4
     repro evaluate INPUT parts.txt
@@ -11,6 +13,12 @@ Six subcommands, mirroring how Chaco/Metis are driven from the shell::
 
 (``python -m repro`` is equivalent to the ``repro`` console script.)
 
+* ``solve`` runs one method through the unified :mod:`repro.api` session
+  layer: structured event streaming (``--events`` JSONL), cooperative
+  wall-clock/iteration budgets (``--budget 2s``, ``--iterations N``),
+  and checkpointing — ``--checkpoint ck.json`` writes the session state
+  on exit (done or paused), ``--resume ck.json`` continues a previous
+  run deterministically.
 * ``partition`` reads a graph (METIS ``.graph``, edge-list ``.txt``/
   ``.edges`` or ``.json``), partitions it with any registered method and
   writes one part id per line (Metis' output convention).  With
@@ -117,6 +125,97 @@ def _print_report(report) -> None:
         f"mcut={report.mcut:.4f} imbalance={report.imbalance:.3f}",
         file=sys.stderr,
     )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.api import (
+        Budget,
+        JsonlEventWriter,
+        SolveRequest,
+        get_solver,
+        parse_duration,
+        resume,
+    )
+    from repro.bench.registry import canonical_method
+
+    if args.resume is None and args.k is None:
+        raise ReproError("solve needs -k (or --resume CHECKPOINT)")
+    budget = Budget(
+        max_seconds=parse_duration(args.budget),
+        max_iterations=args.iterations,
+    )
+    if args.resume:
+        try:
+            checkpoint = json.loads(Path(args.resume).read_text())
+        except FileNotFoundError as exc:
+            raise ReproError(f"checkpoint file not found: {args.resume}") from exc
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"checkpoint file {args.resume} is not valid JSON: {exc}"
+            ) from exc
+        graph = read_graph_auto(args.input)
+        session = resume(graph, checkpoint, budget=budget)
+    else:
+        # Method names are validated before any graph I/O.  Unlike
+        # `partition --budget` (which lifts the metaheuristics' step
+        # caps and runs the whole budget down), solve keeps each
+        # solver's own caps as the natural completion criterion: the
+        # session budget *pauses* the run cooperatively, and the
+        # checkpoint it leaves behind resumes to a bounded finish.
+        method = canonical_method(args.method)
+        options = {}
+        if args.objective is not None:
+            from repro.bench.registry import METAHEURISTICS
+
+            if method in METAHEURISTICS:
+                options["objective"] = args.objective
+        graph = read_graph_auto(args.input)
+        solver = get_solver(method, args.k, **options)
+        session = solver.start(SolveRequest(
+            graph=graph,
+            k=args.k,
+            objective=args.objective,
+            seed=args.seed,
+            budget=budget,
+            name=str(args.input),
+        ))
+    writer = None
+    if args.events:
+        writer = session.subscribe(JsonlEventWriter(args.events))
+    try:
+        report = session.run()
+        # Artifacts land before anything is printed (closed-pipe
+        # safety); the checkpoint event still reaches the open writer.
+        if args.checkpoint:
+            Path(args.checkpoint).write_text(
+                json.dumps(session.checkpoint(), indent=1) + "\n"
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+    if report.partition is None:
+        print(
+            "error: the budget expired before the solver produced any "
+            "partition (raise --budget/--iterations, or resume from the "
+            "checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
+    _write_assignment(report.assignment, args.output)
+    print(
+        f"# {report.method}: status={report.status} "
+        f"iterations={report.iterations} events={report.events} "
+        f"seconds={report.seconds:.2f}",
+        file=sys.stderr,
+    )
+    _print_report(report.metrics)
+    if report.status == "running" and args.checkpoint:
+        print(
+            f"# paused on budget; resume with: repro solve {args.input} "
+            f"--resume {args.checkpoint}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -299,6 +398,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser(
+        "solve",
+        help="run one method with event streaming, budgets and checkpoints",
+    )
+    s.add_argument("input")
+    s.add_argument("-k", type=int, default=None,
+                   help="number of parts (omit only with --resume)")
+    s.add_argument("--method", default="fusion-fission",
+                   help="method name or alias "
+                        f"(canonical: {', '.join(sorted(METHOD_FACTORIES))})")
+    s.add_argument("--objective", default=None,
+                   choices=["cut", "ncut", "mcut"],
+                   help="criterion for the metaheuristics "
+                        "(default: each solver's configured default)")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--budget", default=None,
+                   help="wall-clock budget, e.g. '2s', '500ms', '1.5m'; "
+                        "the session *pauses* at the budget (resumable "
+                        "via --checkpoint), it does not lift solver step "
+                        "caps like `partition --budget` does")
+    s.add_argument("--iterations", type=int, default=None,
+                   help="session-iteration budget (same pause semantics)")
+    s.add_argument("--events", default=None,
+                   help="stream one JSON event per line to this file")
+    s.add_argument("--checkpoint", default=None,
+                   help="write the session checkpoint (JSON) on exit")
+    s.add_argument("--resume", default=None,
+                   help="resume from a checkpoint file written earlier")
+    s.add_argument("-o", "--output", default=None,
+                   help="assignment file (stdout if omitted)")
+    s.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("partition", help="partition a graph file")
     p.add_argument("input")

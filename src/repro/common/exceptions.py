@@ -30,3 +30,8 @@ class ConvergenceError(ReproError):
 class ConfigurationError(ReproError):
     """Raised when user-supplied algorithm parameters are inconsistent
     (e.g. ``tmin >= tmax``, ``k < 1``, probabilities outside [0, 1])."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a solve checkpoint cannot be restored (unknown schema,
+    method/k mismatch against the resuming request, malformed state)."""

@@ -5,7 +5,8 @@ never live ``Partition`` objects — cheap to pickle across the pool).
 :class:`PortfolioResult` turns a batch of records into the three consumer
 views: best-of selection on the problem's raw objective, per-method
 statistics, and a JSON-serialisable report (schema
-``repro.portfolio/1``).
+``repro-portfolio/v2``, stamped with the library version so downstream
+consumers can detect format drift).
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ __all__ = [
     "REPORT_SCHEMA",
 ]
 
-REPORT_SCHEMA = "repro.portfolio/1"
+REPORT_SCHEMA = "repro-portfolio/v2"
 
 
 @dataclass
@@ -45,6 +46,9 @@ class RunRecord:
         run failed or was cancelled).
     seconds:
         Wall-clock time of the solver call (0 when never started).
+    iterations:
+        Session iterations the solve took (0 when never started) — the
+        uniform per-run telemetry the perf harness attributes time with.
     assignment:
         Part id per vertex, or ``None`` on failure.
     report:
@@ -59,6 +63,7 @@ class RunRecord:
     seed_index: int
     objective: float = math.inf
     seconds: float = 0.0
+    iterations: int = 0
     assignment: np.ndarray | None = field(default=None, repr=False)
     report: PartitionReport | None = field(default=None, repr=False)
     error: str | None = None
@@ -77,6 +82,7 @@ class RunRecord:
             "seed_index": self.seed_index,
             "objective": self.objective if math.isfinite(self.objective) else None,
             "seconds": self.seconds,
+            "iterations": self.iterations,
             "ok": self.ok,
             "error": self.error,
             "report": self.report.as_dict() if self.report is not None else None,
@@ -180,16 +186,19 @@ class PortfolioResult:
         include_assignment: bool = False,
         include_best_assignment: bool = True,
     ) -> dict:
-        """The full JSON report (schema ``repro.portfolio/1``).
+        """The full JSON report (schema ``repro-portfolio/v2``).
 
         The winning record carries its assignment by default;
         ``include_assignment=True`` additionally embeds the per-vertex
         assignment of *every* successful run (size ``n × runs`` — large
         reports on big graphs).
         """
+        from repro import __version__
+
         best = self.best
         return {
             "schema": REPORT_SCHEMA,
+            "version": __version__,
             "problem": self.problem.as_dict(),
             "num_runs": len(self.records),
             "num_ok": sum(1 for r in self.records if r.ok),

@@ -3,7 +3,8 @@
 Execution model
 ---------------
 :class:`PortfolioRunner` expands its specs into a ``(spec × seed)`` task
-grid and runs every task through one of two executors:
+grid; every task drives its entrant as a :class:`repro.api.SolveSession`
+(see :func:`execute_task`) on one of two executors:
 
 * **in-process** (``jobs=1``) — tasks run sequentially in the caller's
   process.  Each task is deep-copied first, mirroring the pickling a
@@ -43,7 +44,6 @@ from repro.engine.aggregate import PortfolioResult, RunRecord
 from repro.engine.problem import PartitionProblem
 from repro.engine.spec import SolverSpec
 from repro.graph.graph import Graph
-from repro.partition.metrics import evaluate_partition
 
 __all__ = ["PortfolioRunner", "RunTask"]
 
@@ -71,21 +71,43 @@ class RunTask:
 
 
 def execute_task(task: RunTask, graph: Graph) -> RunRecord:
-    """Run one task against ``graph`` and score it.
+    """Run one task against ``graph`` through the session API and score it.
+
+    The solver executes as a :class:`repro.api.SolveSession`
+    (``solver.start(request).run()``), which produces the exact same
+    partition as the deprecated ``partition(graph, seed)`` path — the
+    shims *are* session runs — while additionally reporting per-run
+    iteration counts for the telemetry layer.  The solve itself runs
+    unbudgeted; time limits stay with the solvers' own ``time_budget``
+    options and the runner-level deadline, exactly as before.
 
     Never raises: solver failures come back as error records so one bad
     entrant cannot sink the whole portfolio.
     """
+    from repro.api import SolveRequest
+
     try:
-        partitioner = task.spec.build(task.k)
+        solver = task.spec.build_solver(task.k)
+        # objective=None: the session optimises the solver's configured
+        # criterion (the for_method plumbing already routed the problem
+        # objective into metaheuristic options); scoring below always
+        # uses the problem objective.
+        request = SolveRequest(
+            graph=graph, k=task.k, seed=task.seed, name=task.spec.label
+        )
         with Timer() as timer:
-            partition = partitioner.partition(graph, seed=task.seed)
+            session = solver.start(request)
+            report = session.run()
         record = task.blank_record()
         record.seconds = timer.elapsed
-        record.assignment = np.asarray(partition.assignment, dtype=np.int64).copy()
-        record.report = evaluate_partition(partition)
-        # The report already carries every supported objective (cut/ncut/
-        # mcut); read it back rather than re-evaluating on the partition.
+        record.iterations = report.iterations
+        record.assignment = np.asarray(
+            report.partition.assignment, dtype=np.int64
+        ).copy()
+        # The session report already evaluated the partition on every
+        # supported objective (cut/ncut/mcut); read the problem criterion
+        # back rather than paying a second full scoring pass.
+        record.report = report.metrics
         record.objective = float(getattr(record.report, task.objective))
         return record
     except Exception as exc:  # noqa: BLE001 - isolate entrant failures

@@ -2,10 +2,18 @@
 
 A :class:`SolverSpec` is a declarative recipe for one portfolio entrant.
 Normally it names a registry method plus constructor options and the
-engine instantiates a fresh partitioner per run (safe to ship across
-process boundaries); alternatively it can wrap an already-constructed
+engine instantiates a fresh solver per run (safe to ship across process
+boundaries); alternatively it can wrap an already-constructed
 partitioner object, which is how the bench harness adapts its
 ``(label, partitioner)`` rows onto the engine without rebuilding them.
+
+Since the :mod:`repro.api` redesign the engine executes every entrant
+through the session protocol: :meth:`SolverSpec.build_solver` returns a
+:class:`repro.api.Solver` (every registry partitioner implements it
+natively; prebuilt objects without ``start`` are wrapped by
+:func:`repro.api.as_solver`), and the runner drives
+``solver.start(request).run()`` instead of calling ``partition``
+directly — same partitions, plus per-run iteration/event telemetry.
 """
 
 from __future__ import annotations
@@ -84,6 +92,17 @@ class SolverSpec:
         if self.partitioner is not None:
             return self.partitioner
         return make_partitioner(self.method, k, **self.options)
+
+    def build_solver(self, k: int):
+        """The :class:`repro.api.Solver` for ``k`` parts.
+
+        Registry-built partitioners implement the protocol natively;
+        prebuilt objects that predate it are wrapped in a one-shot
+        session adapter.
+        """
+        from repro.api import as_solver
+
+        return as_solver(self.build(k))
 
     def as_dict(self) -> dict:
         """Spec metadata for JSON reports."""

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.common.rng import SeedLike, ensure_rng
 from repro.fusionfission.core import (
     FusionFissionResult,
+    FusionFissionRun,
     fusion_fission_search,
     initialize_molecule,
 )
@@ -25,8 +26,133 @@ from repro.fusionfission.laws import LawTable
 from repro.fusionfission.temperature import TemperatureSchedule
 from repro.graph.graph import Graph
 from repro.partition.partition import Partition
+from repro.api.request import SolveRequest
+from repro.api.session import SolveSession
 
-__all__ = ["FusionFissionPartitioner"]
+import numpy as np
+
+__all__ = ["FusionFissionPartitioner", "FusionFissionSession"]
+
+
+class FusionFissionSession(SolveSession):
+    """Run session for :class:`FusionFissionPartitioner`.
+
+    Phases: ``initialize`` (Algorithm 2), ``search`` (Algorithm 1, one
+    session iteration = up to :attr:`chunk` main-loop steps), ``finalize``
+    (coercion to the target k when needed).  Incumbent events fire when
+    the best molecule *at the target k* improves, carrying its raw
+    objective — the same signal the Figure-1 harness samples.
+    """
+
+    chunk = 32
+
+    #: set by ``_setup``/``_restore_state``; None only mid-construction
+    _run: FusionFissionRun | None = None
+
+    def _setup(self) -> None:
+        solver: FusionFissionPartitioner = self.solver
+        graph, k = self.request.graph, self.request.k
+        objective = self.request.objective or solver.objective
+        self._result: FusionFissionResult | None = None
+        self._set_phase("initialize")
+        energy = solver._energy(graph, k=k, objective=objective)
+        laws = solver._laws(graph)
+        initial = initialize_molecule(
+            graph, k, laws, energy, seed=self.rng,
+            cascade=solver.init_cascade,
+        )
+        self._run = self._make_run(energy, laws, initial)
+        self._set_phase("search")
+
+    def _make_run(
+        self,
+        energy: ScaledEnergy,
+        laws: LawTable,
+        initial: Partition,
+    ) -> FusionFissionRun:
+        solver: FusionFissionPartitioner = self.solver
+        return FusionFissionRun(
+            self.request.graph,
+            self.request.k,
+            energy,
+            schedule=solver._schedule(),
+            laws=laws,
+            max_steps=solver.max_steps,
+            time_budget=solver.time_budget,
+            max_parts_factor=solver.max_parts_factor,
+            seed=self.rng,
+            initial=initial,
+            on_improvement=lambda raw, best: self._incumbent_improved(
+                raw, num_parts=best.num_parts
+            ),
+        )
+
+    def _advance(self) -> bool:
+        run = self._run
+        for _ in range(self.chunk):
+            if not run.step():
+                if self._result is None:
+                    self._set_phase("finalize")
+                    self._result = run.finalize()
+                return False
+        return True
+
+    def _best_partition(self) -> Partition | None:
+        if self._result is not None:
+            return self._result.best_at_target
+        run = self._run
+        if run is None:
+            return None
+        return run.best_at_target if run.best_at_target is not None else run.best
+
+    def _best_objective(self) -> float | None:
+        run = self._run
+        if run is None or run.best_at_target is None:
+            return None
+        return run.best_raw_at_target
+
+    def _progress_payload(self) -> dict:
+        run = self._run
+        return {
+            "ff_steps": run.steps,
+            "num_parts": run.current.num_parts,
+            "temperature": run.t,
+            "restarts": run.restarts,
+        }
+
+    def result(self) -> FusionFissionResult:
+        """The multi-k result object (finalizes a finished run)."""
+        if self._result is None:
+            self._result = self._run.finalize()
+        return self._result
+
+    def _export_state(self) -> dict:
+        return self._run.export_state()
+
+    def _restore_state(self, state: dict) -> None:
+        solver: FusionFissionPartitioner = self.solver
+        graph, k = self.request.graph, self.request.k
+        objective = self.request.objective or solver.objective
+        self._result = None
+        energy = solver._energy(graph, k=k, objective=objective)
+        laws = solver._laws(graph)
+        # The placeholder skips Algorithm 2 so the restored rng stream is
+        # untouched; restore_state then overwrites every field, and the
+        # incumbent hook is attached only afterwards so restoring never
+        # fires spurious events.
+        placeholder = Partition(
+            graph, np.asarray(state["current_assignment"], dtype=np.int64)
+        )
+        self._run = self._make_run(energy, laws, placeholder)
+        self._run.on_improvement = None
+        self._run.restore_state(state)
+        self._run.on_improvement = lambda raw, best: self._incumbent_improved(
+            raw, num_parts=best.num_parts
+        )
+        if self.status == "done":
+            self._result = self._run.finalize()
+        else:
+            self.phase = "search"
 
 
 @dataclass
@@ -55,6 +181,11 @@ class FusionFissionPartitioner:
         Ablation: set False to keep ejection laws uniform.
     max_parts_factor:
         Ceiling on part count as a multiple of ``k``.
+    init_cascade:
+        Algorithm-2 strategy: ``"law"`` (exact historical cascade),
+        ``"matched"`` (vectorized heavy-edge prelude) or ``"auto"``
+        (matched on graphs of ≥ 4096 vertices, exact loop below — small
+        seeded runs stay bit-identical to the historical behaviour).
     """
 
     k: int
@@ -70,11 +201,21 @@ class FusionFissionPartitioner:
     scale_energy: bool = True
     learn_laws: bool = True
     max_parts_factor: float = 1.4
+    init_cascade: str = "auto"
 
     name = "fusion-fission"
 
-    def _energy(self, graph: Graph) -> ScaledEnergy:
-        energy = ScaledEnergy(graph.num_vertices, self.k, objective=self.objective)
+    def _energy(
+        self,
+        graph: Graph,
+        k: int | None = None,
+        objective: str | None = None,
+    ) -> ScaledEnergy:
+        energy = ScaledEnergy(
+            graph.num_vertices,
+            self.k if k is None else k,
+            objective=objective or self.objective,
+        )
         if not self.scale_energy:
             # Ablation: identity scaling (raw per-molecule objective).
             energy.scale.binding_for_parts = lambda k: 1.0  # type: ignore[method-assign]
@@ -86,6 +227,21 @@ class FusionFissionPartitioner:
             laws.update = lambda *args, **kwargs: None  # type: ignore[method-assign]
         return laws
 
+    def _schedule(self) -> TemperatureSchedule:
+        return TemperatureSchedule(
+            tmax=self.tmax,
+            tmin=self.tmin,
+            nbt=self.nbt,
+            alpha_slope=self.alpha_slope,
+            alpha_offset=self.alpha_offset,
+        )
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> FusionFissionSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return FusionFissionSession(self, request, checkpoint)
+
     def search(
         self,
         graph: Graph,
@@ -96,14 +252,10 @@ class FusionFissionPartitioner:
         rng = ensure_rng(seed)
         energy = self._energy(graph)
         laws = self._laws(graph)
-        schedule = TemperatureSchedule(
-            tmax=self.tmax,
-            tmin=self.tmin,
-            nbt=self.nbt,
-            alpha_slope=self.alpha_slope,
-            alpha_offset=self.alpha_offset,
+        schedule = self._schedule()
+        initial = initialize_molecule(
+            graph, self.k, laws, energy, seed=rng, cascade=self.init_cascade
         )
-        initial = initialize_molecule(graph, self.k, laws, energy, seed=rng)
         return fusion_fission_search(
             graph,
             self.k,
@@ -124,7 +276,14 @@ class FusionFissionPartitioner:
         seed: SeedLike = None,
         on_improvement: Callable[[float, Partition], None] | None = None,
     ) -> Partition:
-        """Best partition with exactly ``self.k`` parts."""
-        result = self.search(graph, seed=seed, on_improvement=on_improvement)
-        assert result.best_at_target is not None
-        return result.best_at_target
+        """Best partition with exactly ``self.k`` parts.
+
+        .. deprecated:: 1.2
+            Thin shim over :meth:`start` — prefer the session API
+            (events, budgets, checkpointing).  Results are identical.
+        """
+        session = self.start(SolveRequest(graph=graph, k=self.k, seed=seed))
+        if on_improvement is not None:
+            session.chain_improvement(on_improvement)
+        session.run()
+        return session.partition

@@ -23,6 +23,8 @@ from repro.multilevel.matching import heavy_edge_matching
 from repro.partition.partition import Partition
 from repro.refine.fm import fm_refine
 from repro.refine.kl import kl_refine
+from repro.api.request import SolveRequest
+from repro.api.session import OneShotSession
 
 __all__ = ["MultilevelPartitioner"]
 
@@ -64,6 +66,12 @@ class MultilevelPartitioner:
     fm_passes: int = 6
 
     name = "multilevel"
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> OneShotSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return OneShotSession(self, request, checkpoint)
 
     def partition(self, graph: Graph, seed: SeedLike = None) -> Partition:
         """Partition ``graph`` into ``self.k`` parts."""

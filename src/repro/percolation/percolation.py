@@ -29,6 +29,8 @@ from repro.common.exceptions import ConfigurationError
 from repro.common.rng import SeedLike, ensure_rng
 from repro.graph.graph import Graph
 from repro.partition.partition import Partition
+from repro.api.request import SolveRequest
+from repro.api.session import OneShotSession
 
 __all__ = [
     "percolation_bonds",
@@ -260,6 +262,12 @@ class PercolationPartitioner:
     balance_epsilon: float = 0.25
 
     name = "percolation"
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> OneShotSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return OneShotSession(self, request, checkpoint)
 
     def partition(self, graph: Graph, seed: SeedLike = None) -> Partition:
         """Flood from automatically spread centres."""

@@ -23,6 +23,8 @@ from repro.graph.graph import Graph
 from repro.partition.partition import Partition
 from repro.refine.kl import kl_refine
 from repro.spectral.bisection import recursive_spectral_partition
+from repro.api.request import SolveRequest
+from repro.api.session import OneShotSession
 
 __all__ = ["SpectralPartitioner", "LinearPartitioner"]
 
@@ -61,6 +63,12 @@ class LinearPartitioner:
     kl_passes: int = 4
 
     name = "linear"
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> OneShotSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return OneShotSession(self, request, checkpoint)
 
     def partition(self, graph: Graph, seed: SeedLike = None) -> Partition:
         """Partition ``graph``; ``seed`` is unused (deterministic method)."""
@@ -106,6 +114,12 @@ class SpectralPartitioner:
     kl_passes: int = 4
 
     name = "spectral"
+
+    def start(
+        self, request: SolveRequest, checkpoint: dict | None = None
+    ) -> OneShotSession:
+        """Open a run session (the :class:`repro.api.Solver` protocol)."""
+        return OneShotSession(self, request, checkpoint)
 
     def partition(self, graph: Graph, seed: SeedLike = None) -> Partition:
         """Partition ``graph`` into ``self.k`` parts."""

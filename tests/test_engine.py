@@ -236,9 +236,12 @@ class TestAggregation:
         payload = json.loads(result.to_json(include_assignment=True))
         assert payload["schema"] == REPORT_SCHEMA
         assert set(payload) == {
-            "schema", "problem", "num_runs", "num_ok", "best", "methods",
-            "runs",
+            "schema", "version", "problem", "num_runs", "num_ok", "best",
+            "methods", "runs",
         }
+        from repro import __version__
+
+        assert payload["version"] == __version__
         assert payload["num_runs"] == 4
         assert payload["num_ok"] == 4
         assert len(payload["methods"]) == 2
