@@ -45,6 +45,7 @@ See ``docs/api.md`` for the full protocol, event and checkpoint formats.
 from repro.api.events import (
     EVENT_CHECKPOINT,
     EVENT_DONE,
+    EVENT_HEARTBEAT,
     EVENT_INCUMBENT,
     EVENT_ITERATION,
     EVENT_PAUSE,
@@ -94,6 +95,7 @@ __all__ = [
     "EVENT_START",
     "EVENT_PHASE",
     "EVENT_ITERATION",
+    "EVENT_HEARTBEAT",
     "EVENT_INCUMBENT",
     "EVENT_CHECKPOINT",
     "EVENT_PAUSE",

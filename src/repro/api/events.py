@@ -8,6 +8,10 @@ registered observer (``session.subscribe(callback)``).  Event types:
 ``start``      ``run()`` entered (payload: method, k, ``resumed`` flag)
 ``phase``      the solver moved to a new phase (payload: ``phase`` name)
 ``iteration``  one session iteration finished (payload: per-family progress)
+``heartbeat``  periodic liveness signal (payload: ``phase``); emitted at most
+               once per ``SolveRequest.heartbeat_interval`` seconds of solve
+               time, at iteration boundaries — the portfolio runner's
+               straggler reaper keys off these
 ``incumbent``  the best-known solution improved (``objective`` is its value)
 ``checkpoint`` :meth:`~repro.api.session.SolveSession.checkpoint` was taken
 ``pause``      ``run()`` returned early (budget exhausted or cancelled)
@@ -33,6 +37,7 @@ __all__ = [
     "EVENT_START",
     "EVENT_PHASE",
     "EVENT_ITERATION",
+    "EVENT_HEARTBEAT",
     "EVENT_INCUMBENT",
     "EVENT_CHECKPOINT",
     "EVENT_PAUSE",
@@ -42,6 +47,7 @@ __all__ = [
 EVENT_START = "start"
 EVENT_PHASE = "phase"
 EVENT_ITERATION = "iteration"
+EVENT_HEARTBEAT = "heartbeat"
 EVENT_INCUMBENT = "incumbent"
 EVENT_CHECKPOINT = "checkpoint"
 EVENT_PAUSE = "pause"

@@ -132,6 +132,10 @@ class SolveRequest:
         Session-level cooperative limits (see :class:`Budget`).
     name:
         Free-form instance label carried into reports and events.
+    heartbeat_interval:
+        Seconds of solve time between ``heartbeat`` events (emitted at
+        iteration boundaries, so single-iteration constructions emit
+        none mid-solve).  ``None`` disables heartbeats.
     """
 
     graph: Graph
@@ -141,6 +145,7 @@ class SolveRequest:
     seed: SeedLike = None
     budget: Budget = field(default_factory=Budget)
     name: str = "graph"
+    heartbeat_interval: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -158,6 +163,11 @@ class SolveRequest:
             )
         if self.budget is None:
             self.budget = Budget()
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "heartbeat_interval must be > 0 (or None to disable), "
+                f"got {self.heartbeat_interval}"
+            )
 
     def as_dict(self) -> dict:
         """Request metadata for reports/events (no graph payload)."""
@@ -169,6 +179,7 @@ class SolveRequest:
             "objective": self.objective,
             "balance_tolerance": self.balance_tolerance,
             "budget": self.budget.as_dict(),
+            "heartbeat_interval": self.heartbeat_interval,
         }
 
 

@@ -42,10 +42,11 @@ import numpy as np
 
 from repro.common.exceptions import CheckpointError, ReproError
 from repro.common.rng import ensure_rng
-from repro.common.timer import Deadline
+from repro.common.timer import Deadline, Ticker
 from repro.api.events import (
     EVENT_CHECKPOINT,
     EVENT_DONE,
+    EVENT_HEARTBEAT,
     EVENT_INCUMBENT,
     EVENT_ITERATION,
     EVENT_PAUSE,
@@ -171,6 +172,7 @@ class SolveSession(ABC):
         self.events_emitted = 0
         self._observers: list[Callable[[SolveEvent], None]] = []
         self._cancelled = False
+        self._heartbeat = Ticker(request.heartbeat_interval)
         self._elapsed_offset = 0.0
         self._clock_start: float | None = time.perf_counter()
         if checkpoint is None:
@@ -323,8 +325,10 @@ class SolveSession(ABC):
         """Advance one iteration; return True while more work remains.
 
         Emits one ``iteration`` event per call (plus any ``incumbent``/
-        ``phase`` events the solver raised inside).  A finished or
-        cancelled session returns False without touching solver state.
+        ``phase`` events the solver raised inside, and a ``heartbeat``
+        at most once per ``request.heartbeat_interval`` of solve time).
+        A finished or cancelled session returns False without touching
+        solver state.
         """
         if self.status != STATUS_RUNNING:
             return False
@@ -336,6 +340,11 @@ class SolveSession(ABC):
             more = self._advance()
             self.iteration += 1
             self._emit(EVENT_ITERATION, **self._progress_payload())
+            # Liveness signal for supervisors (the portfolio runner's
+            # straggler reaper treats silence past the task timeout as a
+            # hang): at most one per heartbeat_interval of solve time.
+            if self._heartbeat.due(self.elapsed()):
+                self._emit(EVENT_HEARTBEAT, phase=self.phase)
             if not more:
                 self.status = STATUS_DONE
                 self._set_phase("done")

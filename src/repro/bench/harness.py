@@ -119,8 +119,10 @@ def run_suite(
         # bench in `except ReproError` still catch solver failures even
         # though the original exception died in a worker process.
         if not record.ok:
+            kind = record.error_kind or "error"
             raise ReproError(
-                f"bench method {record.label!r} failed: {record.error}"
+                f"bench method {record.label!r} failed "
+                f"[{kind}]: {record.error}"
             )
         if verbose:
             print(_format_progress(_to_method_result(record)))

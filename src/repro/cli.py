@@ -25,8 +25,12 @@ Seven subcommands, mirroring how Chaco/Metis are driven from the shell::
   ``--seeds N [--parallel]`` it runs N seeded restarts (optionally on a
   process pool) and keeps the best.
 * ``portfolio`` fans one instance out across (method × seed) on the
-  portfolio engine's process pool, prints per-method statistics and
-  writes the best assignment / a JSON report.
+  portfolio engine's process pool, prints per-method statistics (plus a
+  failure summary when runs failed) and writes the best assignment / a
+  JSON report.  ``--retries``/``--task-timeout`` turn on the engine's
+  fault tolerance (same-seed retries, straggler reaping, pool
+  self-healing) and ``--faults`` injects deterministic chaos faults —
+  see ``docs/robustness.md``.
 * ``evaluate`` scores an existing assignment file on all three paper
   criteria plus balance/connectivity diagnostics.
 * ``generate`` writes a synthetic instance (``atc``, ``grid``, ``caveman``,
@@ -271,7 +275,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
-    from repro.engine import PartitionProblem, PortfolioRunner, SolverSpec
+    from repro.engine import (
+        FaultInjector,
+        PartitionProblem,
+        PortfolioRunner,
+        RetryPolicy,
+        SolverSpec,
+    )
 
     if args.list_methods:
         for name, aliases, summary in list_methods():
@@ -298,6 +308,13 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         seed=args.seed,
         deadline=args.deadline,
+        retry=RetryPolicy(
+            max_attempts=args.retries + 1, backoff=args.retry_backoff
+        ),
+        task_timeout=args.task_timeout,
+        # --faults overrides REPRO_FAULTS (the runner reads the env var
+        # itself when faults is None).
+        faults=FaultInjector.parse(args.faults) if args.faults else None,
     )
     result = runner.run(problem)
     # File outputs land before anything is printed: a closed stdout pipe
@@ -312,6 +329,9 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     if best is not None and args.output:
         _write_assignment(best.assignment, args.output)
     print(result.format_stats_table())
+    failures = result.format_failure_table()
+    if failures:
+        print(f"\n{failures}", file=sys.stderr)
     if best is None:
         print("error: every portfolio run failed", file=sys.stderr)
         return 2
@@ -472,6 +492,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-run wall-clock seconds for metaheuristics")
     f.add_argument("--deadline", type=float, default=None,
                    help="total wall-clock seconds; unstarted runs cancel")
+    f.add_argument("--retries", type=int, default=0,
+                   help="extra attempts per failed run (same seed; "
+                        "crashes, timeouts and transient errors only)")
+    f.add_argument("--retry-backoff", type=float, default=0.1,
+                   help="seconds before the first retry (doubles per "
+                        "subsequent failure)")
+    f.add_argument("--task-timeout", type=float, default=None,
+                   help="per-run wall-clock bound; sessions pause at it "
+                        "(partial results kept), silent workers are reaped")
+    f.add_argument("--faults", default=None,
+                   help="chaos fault injection spec, e.g. 'crash@0,0,1;"
+                        "hang@1,0,1,30' (overrides REPRO_FAULTS)")
     f.add_argument("--json", default=None,
                    help="write the full portfolio report to this file")
     f.add_argument("-o", "--output", default=None,

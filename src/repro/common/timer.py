@@ -48,6 +48,35 @@ class Timer:
         return time.perf_counter() - self._start
 
 
+class Ticker:
+    """Rate limiter for periodic actions on a caller-supplied clock.
+
+    ``due(now)`` returns True at most once per ``interval`` of the
+    caller's time axis (the solve sessions feed it their cumulative
+    solve-time so heartbeats pause when the session does).  The first
+    call after construction never fires — the interval must elapse
+    first.  ``interval=None`` disables the ticker (never due).
+    """
+
+    def __init__(self, interval: float | None) -> None:
+        if interval is not None and interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = interval
+        self._last: float | None = None
+
+    def due(self, now: float) -> bool:
+        """True when ``interval`` has elapsed since the last firing."""
+        if self.interval is None:
+            return False
+        if self._last is None:
+            self._last = now
+            return False
+        if now - self._last >= self.interval:
+            self._last = now
+            return True
+        return False
+
+
 @dataclass
 class Deadline:
     """A wall-clock budget.

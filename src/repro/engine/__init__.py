@@ -16,7 +16,12 @@ this package makes that the first-class execution primitive:
   (spec × seed) grid executor with in-process and process-pool
   backends, deterministic seeding and deadline cancellation;
 * :mod:`repro.engine.aggregate` — :class:`RunRecord`,
-  :class:`MethodStats` and :class:`PortfolioResult` reporting.
+  :class:`MethodStats` and :class:`PortfolioResult` reporting;
+* :mod:`repro.engine.retry` / :mod:`repro.engine.faults` — the fault
+  tolerance layer: :class:`RetryPolicy` (deterministic same-seed
+  retries with backoff), pool self-healing and straggler reaping in
+  the runner, and :class:`FaultInjector` chaos testing (see
+  ``docs/robustness.md``).
 
 Quickstart
 ----------
@@ -38,8 +43,15 @@ from repro.engine.aggregate import (
     PortfolioResult,
     RunRecord,
 )
+from repro.engine.faults import FaultInjector, FaultSpec
 from repro.engine.problem import PartitionProblem
-from repro.engine.runner import PortfolioRunner, RunTask, execute_task
+from repro.engine.retry import RetryPolicy
+from repro.engine.runner import (
+    PortfolioRunner,
+    RunTask,
+    execute_task,
+    validate_assignment,
+)
 from repro.engine.spec import SolverSpec
 
 __all__ = [
@@ -51,5 +63,9 @@ __all__ = [
     "RunTask",
     "MethodStats",
     "REPORT_SCHEMA",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultSpec",
     "execute_task",
+    "validate_assignment",
 ]

@@ -5,8 +5,12 @@ never live ``Partition`` objects — cheap to pickle across the pool).
 :class:`PortfolioResult` turns a batch of records into the three consumer
 views: best-of selection on the problem's raw objective, per-method
 statistics, and a JSON-serialisable report (schema
-``repro-portfolio/v2``, stamped with the library version so downstream
+``repro-portfolio/v3``, stamped with the library version so downstream
 consumers can detect format drift).
+
+Schema history: ``v3`` added the fault-tolerance fields ``attempts``,
+``error_kind`` and ``fault_trace`` to every run record (``v2`` added the
+``version`` stamp).
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ __all__ = [
     "REPORT_SCHEMA",
 ]
 
-REPORT_SCHEMA = "repro-portfolio/v2"
+REPORT_SCHEMA = "repro-portfolio/v3"
 
 
 @dataclass
@@ -55,6 +59,16 @@ class RunRecord:
         Full :class:`PartitionReport`, or ``None`` on failure.
     error:
         Failure/cancellation description, or ``None`` on success.
+    error_kind:
+        Stable failure classification (see the taxonomy in
+        :mod:`repro.common.exceptions`), or ``None`` on success.
+    attempts:
+        Executions this record took (0 = never started, 1 = first try,
+        >1 = retried; the recorded result is from the last attempt).
+    fault_trace:
+        Chronological notes from the fault-tolerance layer: injected
+        faults, worker deaths, reap events, retries, pool rebuilds.
+        Empty for an uneventful run.
     """
 
     label: str
@@ -67,6 +81,9 @@ class RunRecord:
     assignment: np.ndarray | None = field(default=None, repr=False)
     report: PartitionReport | None = field(default=None, repr=False)
     error: str | None = None
+    error_kind: str | None = None
+    attempts: int = 0
+    fault_trace: list[str] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -85,6 +102,9 @@ class RunRecord:
             "iterations": self.iterations,
             "ok": self.ok,
             "error": self.error,
+            "error_kind": self.error_kind,
+            "attempts": self.attempts,
+            "fault_trace": list(self.fault_trace),
             "report": self.report.as_dict() if self.report is not None else None,
         }
         if include_assignment and self.assignment is not None:
@@ -220,6 +240,36 @@ class PortfolioResult:
             self.as_dict(include_assignment, include_best_assignment),
             indent=indent,
         )
+
+    def failure_counts(self) -> dict[str, int]:
+        """Failed-run tally per error kind (empty when everything ran)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.ok:
+                continue
+            kind = record.error_kind or "error"
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def format_failure_table(self) -> str:
+        """Per-error-kind failure summary ('' when every run succeeded)."""
+        counts = self.failure_counts()
+        if not counts:
+            return ""
+        examples: dict[str, str] = {}
+        for record in self.records:
+            if record.ok:
+                continue
+            kind = record.error_kind or "error"
+            examples.setdefault(kind, record.error or "?")
+        header = f"{'Failure kind':<12} {'count':>5}  example"
+        lines = [header, "-" * len(header)]
+        for kind in sorted(counts):
+            example = examples[kind]
+            if len(example) > 60:
+                example = example[:57] + "..."
+            lines.append(f"{kind:<12} {counts[kind]:>5}  {example}")
+        return "\n".join(lines)
 
     def format_stats_table(self) -> str:
         """Human-readable per-method statistics table."""

@@ -18,6 +18,7 @@ directly — same partitions, plus per-run iteration/event telemetry.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -93,16 +94,22 @@ class SolverSpec:
             return self.partitioner
         return make_partitioner(self.method, k, **self.options)
 
-    def build_solver(self, k: int):
+    def build_solver(self, k: int, attempt: int = 1):
         """The :class:`repro.api.Solver` for ``k`` parts.
 
         Registry-built partitioners implement the protocol natively;
         prebuilt objects that predate it are wrapped in a one-shot
-        session adapter.
+        session adapter.  On retries (``attempt > 1``) prebuilt
+        partitioners are deep-copied first, so a failed attempt can
+        never leak mutated solver state into the retry — registry specs
+        already instantiate fresh per call.
         """
         from repro.api import as_solver
 
-        return as_solver(self.build(k))
+        partitioner = self.build(k)
+        if self.partitioner is not None and attempt > 1:
+            partitioner = copy.deepcopy(partitioner)
+        return as_solver(partitioner)
 
     def as_dict(self) -> dict:
         """Spec metadata for JSON reports."""
