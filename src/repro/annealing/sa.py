@@ -181,6 +181,21 @@ class AnnealRun:
                 self.t *= self.ratio
         return True
 
+    def adopt_incumbent(self, partition: Partition, energy: float) -> None:
+        """Adopt a migrated incumbent (island model): continue the walk
+        from the donated solution.
+
+        Deterministic — no random draws, so adopting never perturbs the
+        stream of subsequent :meth:`step` calls.  Temperature and
+        refusal counters are kept: migration redirects the walk, it does
+        not restart the schedule.
+        """
+        self.partition = partition.copy()
+        self.energy = float(energy)
+        if self.energy < self.best_energy - 1e-12:
+            self.best = partition.copy()
+            self.best_energy = self.energy
+
     # -- checkpoint plumbing (see repro.api.session) -----------------------
     def export_state(self) -> dict:
         """JSON-serialisable loop state (rng handled by the session)."""
@@ -370,6 +385,8 @@ class SimulatedAnnealingPartitioner:
     time_budget: float | None = None
 
     name = "simulated-annealing"
+    #: Iterative family: sessions may run island-model (`islands > 1`).
+    supports_islands = True
 
     def start(
         self, request: SolveRequest, checkpoint: dict | None = None

@@ -253,6 +253,19 @@ class AntColonyRun:
         self.it += 1
         return self.it < self.iterations
 
+    def adopt_incumbent(self, partition: Partition, energy: float) -> None:
+        """Adopt a migrated incumbent (island model).
+
+        The donated assignment becomes the current territory map the
+        next iteration's ownership fallback builds on; the best is
+        updated when the donor is strictly better.  Deterministic — the
+        pheromone field and rng stream are untouched.
+        """
+        self.current_assignment = partition.assignment.copy()
+        if energy < self.best_energy - 1e-12:
+            self.best = partition.copy()
+            self.best_energy = float(energy)
+
     # -- checkpoint plumbing (see repro.api.session) -----------------------
     def export_state(self) -> dict:
         """JSON-serialisable loop state (rng handled by the session)."""
@@ -445,6 +458,8 @@ class AntColonyPartitioner:
     time_budget: float | None = None
 
     name = "ant-colony"
+    #: Iterative family: sessions may run island-model (`islands > 1`).
+    supports_islands = True
 
     def start(
         self, request: SolveRequest, checkpoint: dict | None = None

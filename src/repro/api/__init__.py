@@ -48,6 +48,7 @@ from repro.api.events import (
     EVENT_HEARTBEAT,
     EVENT_INCUMBENT,
     EVENT_ITERATION,
+    EVENT_MIGRATION,
     EVENT_PAUSE,
     EVENT_PHASE,
     EVENT_START,
@@ -55,6 +56,7 @@ from repro.api.events import (
     SolveEvent,
 )
 from repro.api.facade import Solver, as_solver, get_solver, resume, solve
+from repro.api.islands import IslandGroup
 from repro.api.request import (
     STATUS_CANCELLED,
     STATUS_DONE,
@@ -80,6 +82,7 @@ __all__ = [
     "SolveEvent",
     "Budget",
     "OneShotSession",
+    "IslandGroup",
     "JsonlEventWriter",
     "solve",
     "resume",
@@ -97,6 +100,7 @@ __all__ = [
     "EVENT_ITERATION",
     "EVENT_HEARTBEAT",
     "EVENT_INCUMBENT",
+    "EVENT_MIGRATION",
     "EVENT_CHECKPOINT",
     "EVENT_PAUSE",
     "EVENT_DONE",

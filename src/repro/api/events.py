@@ -12,7 +12,12 @@ registered observer (``session.subscribe(callback)``).  Event types:
                once per ``SolveRequest.heartbeat_interval`` seconds of solve
                time, at iteration boundaries — the portfolio runner's
                straggler reaper keys off these
-``incumbent``  the best-known solution improved (``objective`` is its value)
+``incumbent``  the best-known solution improved (``objective`` is its value;
+               island sessions add ``island``, the island that found it)
+``migration``  an island-model session completed one incumbent migration
+               ring (payload: ``round``, ``interval``, ``ring`` — per-island
+               best objectives after migration — and ``adopted``, the island
+               indices that took their neighbour's incumbent)
 ``checkpoint`` :meth:`~repro.api.session.SolveSession.checkpoint` was taken
 ``pause``      ``run()`` returned early (budget exhausted or cancelled)
 ``done``       the solver finished naturally; the session is complete
@@ -39,6 +44,7 @@ __all__ = [
     "EVENT_ITERATION",
     "EVENT_HEARTBEAT",
     "EVENT_INCUMBENT",
+    "EVENT_MIGRATION",
     "EVENT_CHECKPOINT",
     "EVENT_PAUSE",
     "EVENT_DONE",
@@ -49,6 +55,7 @@ EVENT_PHASE = "phase"
 EVENT_ITERATION = "iteration"
 EVENT_HEARTBEAT = "heartbeat"
 EVENT_INCUMBENT = "incumbent"
+EVENT_MIGRATION = "migration"
 EVENT_CHECKPOINT = "checkpoint"
 EVENT_PAUSE = "pause"
 EVENT_DONE = "done"

@@ -108,12 +108,18 @@ def solve(
     balance_tolerance: float | None = None,
     observers: tuple[Callable[[SolveEvent], None], ...] = (),
     name: str = "graph",
+    islands: int = 1,
+    migration_interval: int = 10,
+    island_jobs: int = 1,
     **options: Any,
 ) -> SolveReport:
     """One-call solve: build the solver, run a session, return the report.
 
     Extra ``options`` go to the solver constructor (e.g.
-    ``max_steps=500`` for fusion–fission).
+    ``max_steps=500`` for fusion–fission); ``islands``/
+    ``migration_interval``/``island_jobs`` configure island-model
+    execution for the iterative families (see
+    :class:`~repro.api.request.SolveRequest`).
 
     Examples
     --------
@@ -135,6 +141,9 @@ def solve(
         seed=seed,
         budget=budget or Budget(),
         name=name,
+        islands=islands,
+        migration_interval=migration_interval,
+        island_jobs=island_jobs,
     )
     session = solver.start(request)
     for observer in observers:
@@ -148,13 +157,17 @@ def resume(
     *,
     budget: Budget | None = None,
     observers: tuple[Callable[[SolveEvent], None], ...] = (),
+    island_jobs: int = 1,
 ) -> SolveSession:
     """Rebuild a paused session from a checkpoint dict.
 
     The checkpoint stores the method name and constructor options, so
     only the graph (never serialised) must be supplied.  The returned
     session continues exactly where :meth:`SolveSession.checkpoint` left
-    off — same seed + same checkpoint → same final partition.
+    off — same seed + same checkpoint → same final partition.  Island
+    checkpoints resume with their recorded island layout;
+    ``island_jobs`` only picks the execution mode, which never changes
+    the result.
     """
     if not isinstance(checkpoint, dict):
         raise CheckpointError(
@@ -188,6 +201,9 @@ def resume(
         seed=None,  # the restored rng state is authoritative
         budget=budget or Budget(),
         name=checkpoint.get("name", "graph"),
+        islands=int(checkpoint.get("islands", 1) or 1),
+        migration_interval=int(checkpoint.get("migration_interval", 10) or 10),
+        island_jobs=island_jobs,
     )
     session = solver.start(request, checkpoint=checkpoint)
     for observer in observers:

@@ -136,6 +136,25 @@ class SolveRequest:
         Seconds of solve time between ``heartbeat`` events (emitted at
         iteration boundaries, so single-iteration constructions emit
         none mid-solve).  ``None`` disables heartbeats.
+    islands:
+        Number of independent islands the iterative solver families
+        (annealing, ant colony, fusion–fission) evolve within this one
+        solve, each from its own ``SeedSequence.spawn`` lineage.  ``1``
+        (the default) is the plain sequential path, bit-identical to
+        requests predating this field.  With ``islands > 1`` one session
+        iteration advances every island ``migration_interval`` of its
+        own iterations, then migrates incumbents around a ring
+        (``migration`` events).  Solvers without island support
+        (``supports_islands`` is false) reject such requests.
+    migration_interval:
+        Island iterations between incumbent migrations (only meaningful
+        when ``islands > 1``).
+    island_jobs:
+        Worker processes evolving islands in parallel.  ``1`` (default)
+        steps the islands round-robin in-process; for graphs with
+        integral edge weights both modes produce bit-identical results
+        (islands travel between intervals as checkpoints, which are
+        exact — see the session determinism contract).
     """
 
     graph: Graph
@@ -146,6 +165,9 @@ class SolveRequest:
     budget: Budget = field(default_factory=Budget)
     name: str = "graph"
     heartbeat_interval: float | None = 1.0
+    islands: int = 1
+    migration_interval: int = 10
+    island_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -168,6 +190,18 @@ class SolveRequest:
                 "heartbeat_interval must be > 0 (or None to disable), "
                 f"got {self.heartbeat_interval}"
             )
+        if self.islands < 1:
+            raise ConfigurationError(
+                f"islands must be >= 1, got {self.islands}"
+            )
+        if self.migration_interval < 1:
+            raise ConfigurationError(
+                f"migration_interval must be >= 1, got {self.migration_interval}"
+            )
+        if self.island_jobs < 1:
+            raise ConfigurationError(
+                f"island_jobs must be >= 1, got {self.island_jobs}"
+            )
 
     def as_dict(self) -> dict:
         """Request metadata for reports/events (no graph payload)."""
@@ -180,6 +214,8 @@ class SolveRequest:
             "balance_tolerance": self.balance_tolerance,
             "budget": self.budget.as_dict(),
             "heartbeat_interval": self.heartbeat_interval,
+            "islands": self.islands,
+            "migration_interval": self.migration_interval,
         }
 
 

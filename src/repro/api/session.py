@@ -40,7 +40,11 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.common.exceptions import CheckpointError, ReproError
+from repro.common.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ReproError,
+)
 from repro.common.rng import ensure_rng
 from repro.common.timer import Deadline, Ticker
 from repro.api.events import (
@@ -175,9 +179,29 @@ class SolveSession(ABC):
         self._heartbeat = Ticker(request.heartbeat_interval)
         self._elapsed_offset = 0.0
         self._clock_start: float | None = time.perf_counter()
+        #: Island-model execution (``request.islands > 1``): the session's
+        #: advance/best/checkpoint hooks route through the group instead
+        #: of the family stepper.  ``islands=1`` never touches this, so
+        #: the sequential path is bit-identical to before the field.
+        self._islands = None
+        if request.islands > 1 and not getattr(
+            solver, "supports_islands", False
+        ):
+            raise ConfigurationError(
+                f"method {self.method!r} does not support island-model "
+                f"execution (requested islands={request.islands}); only "
+                "the iterative families (simulated-annealing, ant-colony, "
+                "fusion-fission) do"
+            )
         if checkpoint is None:
             self.rng = ensure_rng(request.seed)
-            self._setup()
+            if request.islands > 1:
+                from repro.api.islands import IslandGroup
+
+                self.phase = "islands"
+                self._islands = IslandGroup.create(self)
+            else:
+                self._setup()
         else:
             self._load_checkpoint(checkpoint)
         self._clock_pause()
@@ -223,6 +247,35 @@ class SolveSession(ABC):
         """Per-family extras attached to iteration events."""
         return {}
 
+    def _adopt_incumbent(self, partition: Partition, objective: float) -> None:
+        """Adopt a migrated incumbent into the live solver state.
+
+        The island machinery calls this on a receiving island; the
+        default delegates to ``adopt_incumbent`` on the family stepper
+        (``self._run``), which every island-capable family implements.
+        """
+        run = getattr(self, "_run", None)
+        if run is None or not hasattr(run, "adopt_incumbent"):
+            raise ReproError(
+                f"session ({self.method}) cannot adopt a migrated incumbent"
+            )
+        run.adopt_incumbent(partition, objective)
+
+    # -- island routing ------------------------------------------------------
+    # With ``request.islands > 1`` the family hooks above were never set
+    # up — per-iteration work, bests and state live in the IslandGroup.
+    # These wrappers are the single indirection everything user-facing
+    # goes through.
+    def _routed_best_partition(self) -> Partition | None:
+        if self._islands is not None:
+            return self._islands.best_partition()
+        return self._best_partition()
+
+    def _routed_best_objective(self) -> float | None:
+        if self._islands is not None:
+            return self._islands.best_objective()
+        return self._best_objective()
+
     # -- observers & events ------------------------------------------------
     def subscribe(
         self, observer: Callable[[SolveEvent], None]
@@ -240,7 +293,7 @@ class SolveSession(ABC):
         self, type_: str, objective: float | None = None, **payload: Any
     ) -> None:
         if objective is None:
-            objective = self._best_objective()
+            objective = self._routed_best_objective()
         event = SolveEvent(
             type=type_,
             iteration=self.iteration,
@@ -337,9 +390,14 @@ class SolveSession(ABC):
             return False
         self._clock_resume()
         try:
-            more = self._advance()
+            if self._islands is not None:
+                more = self._islands.advance()
+                payload = self._islands.progress_payload()
+            else:
+                more = self._advance()
+                payload = self._progress_payload()
             self.iteration += 1
-            self._emit(EVENT_ITERATION, **self._progress_payload())
+            self._emit(EVENT_ITERATION, **payload)
             # Liveness signal for supervisors (the portfolio runner's
             # straggler reaper treats silence past the task timeout as a
             # hang): at most one per heartbeat_interval of solve time.
@@ -351,6 +409,8 @@ class SolveSession(ABC):
                 self._emit(EVENT_DONE)
             elif self._cancelled:
                 self.status = STATUS_CANCELLED
+            if self._islands is not None and self.status != STATUS_RUNNING:
+                self._islands.close()
         finally:
             self._clock_pause()
         return self.status == STATUS_RUNNING
@@ -407,7 +467,7 @@ class SolveSession(ABC):
     @property
     def partition(self) -> Partition:
         """The best-known partition (raises before one exists)."""
-        best = self._best_partition()
+        best = self._routed_best_partition()
         if best is None:
             raise ReproError(
                 f"session ({self.method}) has no partition yet — "
@@ -417,9 +477,9 @@ class SolveSession(ABC):
 
     def report(self) -> SolveReport:
         """Snapshot the session into a :class:`SolveReport`."""
-        best = self._best_partition()
+        best = self._routed_best_partition()
         objective = self._objective_name()
-        value = self._best_objective()
+        value = self._routed_best_objective()
         metrics = None
         if best is not None:
             metrics = evaluate_partition(best)
@@ -465,8 +525,14 @@ class SolveSession(ABC):
             "iteration": self.iteration,
             "elapsed": self.elapsed(),
             "phase": self.phase,
+            "islands": self.request.islands,
+            "migration_interval": self.request.migration_interval,
             "rng": encode_rng(self.rng),
-            "state": self._export_state(),
+            "state": (
+                self._islands.export_state()
+                if self._islands is not None
+                else self._export_state()
+            ),
         }
         self._emit(EVENT_CHECKPOINT)
         return payload
@@ -506,13 +572,27 @@ class SolveSession(ABC):
                     f"m={fingerprint.get('num_edges')}; the request's has "
                     f"n={graph.num_vertices}, m={graph.num_edges})"
                 )
+        islands = int(checkpoint.get("islands", 1) or 1)
+        if islands != self.request.islands:
+            raise CheckpointError(
+                f"checkpoint was taken with islands={islands}, the request "
+                f"asks islands={self.request.islands} (resume carries the "
+                "island layout through the checkpoint itself)"
+            )
         try:
             self.rng = decode_rng(checkpoint["rng"])
             self.iteration = int(checkpoint["iteration"])
             self.status = str(checkpoint["status"])
             self._elapsed_offset = float(checkpoint.get("elapsed", 0.0))
             self.phase = str(checkpoint.get("phase", "setup"))
-            self._restore_state(checkpoint["state"])
+            if islands > 1:
+                from repro.api.islands import IslandGroup
+
+                self._islands = IslandGroup.restore(
+                    self, checkpoint["state"]
+                )
+            else:
+                self._restore_state(checkpoint["state"])
         except CheckpointError:
             raise
         except (KeyError, TypeError, ValueError) as exc:

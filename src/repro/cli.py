@@ -158,7 +158,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 f"checkpoint file {args.resume} is not valid JSON: {exc}"
             ) from exc
         graph = read_graph_auto(args.input)
-        session = resume(graph, checkpoint, budget=budget)
+        session = resume(
+            graph, checkpoint, budget=budget, island_jobs=args.island_jobs
+        )
     else:
         # Method names are validated before any graph I/O.  Unlike
         # `partition --budget` (which lifts the metaheuristics' step
@@ -182,6 +184,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             seed=args.seed,
             budget=budget,
             name=str(args.input),
+            islands=args.islands,
+            migration_interval=args.migration_interval,
+            island_jobs=args.island_jobs,
         ))
     writer = None
     if args.events:
@@ -307,6 +312,8 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         jobs=args.jobs,
         seed=args.seed,
+        islands=args.islands,
+        migration_interval=args.migration_interval,
         deadline=args.deadline,
         retry=RetryPolicy(
             max_attempts=args.retries + 1, backoff=args.retry_backoff
@@ -441,6 +448,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "caps like `partition --budget` does")
     s.add_argument("--iterations", type=int, default=None,
                    help="session-iteration budget (same pause semantics)")
+    s.add_argument("--islands", type=int, default=1,
+                   help="island-model population size; >1 runs that many "
+                        "seed-lineage islands with periodic ring migration "
+                        "(iterative methods only; 1 = plain sequential)")
+    s.add_argument("--migration-interval", type=int, default=10,
+                   help="island iterations between migration rounds")
+    s.add_argument("--island-jobs", type=int, default=1,
+                   help="worker processes for island rounds (execution "
+                        "mode only; results are identical to --island-jobs"
+                        " 1)")
     s.add_argument("--events", default=None,
                    help="stream one JSON event per line to this file")
     s.add_argument("--checkpoint", default=None,
@@ -486,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default: CPU count)")
     f.add_argument("--seed", type=int, default=0,
                    help="base entropy of the seed grid")
+    f.add_argument("--islands", type=int, default=1,
+                   help="islands per run for iterative methods "
+                        "(one-shot methods fall back to islands=1)")
+    f.add_argument("--migration-interval", type=int, default=10,
+                   help="island iterations between migration rounds")
     f.add_argument("--objective", default="mcut",
                    choices=["cut", "ncut", "mcut"])
     f.add_argument("--budget", type=float, default=None,

@@ -10,7 +10,10 @@ consumers can detect format drift).
 
 Schema history: ``v3`` added the fault-tolerance fields ``attempts``,
 ``error_kind`` and ``fault_trace`` to every run record (``v2`` added the
-``version`` stamp).
+``version`` stamp).  Additive within ``v3``: every run record now also
+carries ``graph_transport`` (``"shm"``/``"pickle"``) and
+``payload_bytes`` (the per-worker graph ship size under that transport),
+making the zero-copy win auditable from the report alone.
 """
 
 from __future__ import annotations
@@ -69,6 +72,15 @@ class RunRecord:
         Chronological notes from the fault-tolerance layer: injected
         faults, worker deaths, reap events, retries, pool rebuilds.
         Empty for an uneventful run.
+    graph_transport:
+        How the graph reached this run's executor: ``"shm"`` (O(1)
+        shared-memory handle) or ``"pickle"`` (CSR arrays serialised
+        per worker; also reported by the in-process executor, which
+        mirrors pickling via deep copies).  ``None`` on records built
+        outside the runner.
+    payload_bytes:
+        Per-worker graph ship size in bytes under that transport — the
+        handle's pickled size for shm, the CSR array payload for pickle.
     """
 
     label: str
@@ -84,6 +96,8 @@ class RunRecord:
     error_kind: str | None = None
     attempts: int = 0
     fault_trace: list[str] = field(default_factory=list, repr=False)
+    graph_transport: str | None = None
+    payload_bytes: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -105,6 +119,8 @@ class RunRecord:
             "error_kind": self.error_kind,
             "attempts": self.attempts,
             "fault_trace": list(self.fault_trace),
+            "graph_transport": self.graph_transport,
+            "payload_bytes": self.payload_bytes,
             "report": self.report.as_dict() if self.report is not None else None,
         }
         if include_assignment and self.assignment is not None:

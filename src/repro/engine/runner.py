@@ -10,9 +10,16 @@ grid; every task drives its entrant as a :class:`repro.api.SolveSession`
   process.  Each task is deep-copied first, mirroring the pickling a
   pool performs, so results are bit-identical between executors.
 * **process pool** (``jobs>1``) — a ``concurrent.futures``
-  ``ProcessPoolExecutor`` whose workers receive the graph *once* via the
-  pool initializer (CSR arrays, rebuilt with ``validate=False``); tasks
-  then ship only the spec and seed, never the graph.
+  ``ProcessPoolExecutor`` whose workers attach the graph *once* via the
+  pool initializer.  With the default ``shm`` transport the initializer
+  ships an O(1) :class:`~repro.graph.GraphHandle` and every worker maps
+  read-only views over one shared-memory copy of the CSR arrays
+  (``graph_transport="pickle"`` restores the legacy per-worker array
+  pickle); tasks then ship only the spec and seed, never the graph.
+  Self-heal rebuilds re-attach the *same* segment, and the owning
+  :class:`~repro.graph.GraphStore` is destroyed in the runner's
+  ``finally`` — normal exit, deadline cancel and worker crashes all
+  unlink the segment exactly once.
 
 Determinism: task ``(s, i)`` is seeded with
 ``SeedSequence([base, s, i])``, a pure function of the runner's base
@@ -90,8 +97,12 @@ from repro.engine.problem import PartitionProblem
 from repro.engine.retry import RetryPolicy
 from repro.engine.spec import SolverSpec
 from repro.graph.graph import Graph
+from repro.graph.store import GraphHandle, GraphStore, pickled_graph_bytes
 
 __all__ = ["PortfolioRunner", "RunTask", "execute_task", "validate_assignment"]
+
+#: Valid ``PortfolioRunner.graph_transport`` settings.
+GRAPH_TRANSPORTS = ("auto", "shm", "pickle")
 
 
 @dataclass
@@ -109,6 +120,8 @@ class RunTask:
     seed: SeedLike
     spec_index: int
     seed_index: int
+    islands: int = 1
+    migration_interval: int = 10
     attempt: int = 1
     timeout: float | None = None
     fault: FaultSpec | None = None
@@ -193,12 +206,23 @@ def execute_task(
         heartbeat_interval = 1.0
         if task.timeout is not None:
             heartbeat_interval = max(0.02, min(1.0, task.timeout / 4.0))
+        islands = task.islands
+        if islands > 1 and not getattr(solver, "supports_islands", False):
+            # Graceful degradation: one-shot methods (spectral, multilevel,
+            # ...) have no iteration loop to islandise — run them plain.
+            trace.append(
+                f"attempt {task.attempt}: method {task.spec.method} does "
+                "not support islands; ran sequentially (islands=1)"
+            )
+            islands = 1
         request = SolveRequest(
             graph=graph,
             k=task.k,
             seed=task.seed,
             name=task.spec.label,
             heartbeat_interval=heartbeat_interval,
+            islands=islands,
+            migration_interval=task.migration_interval,
         )
         with Timer() as timer:
             session = solver.start(request)
@@ -257,26 +281,24 @@ def execute_task(
 
 
 # ---------------------------------------------------------------------------
-# Process-pool plumbing.  The graph is shipped once per worker through the
-# initializer and cached in a module global; tasks then pickle small.  The
-# heartbeat queue (a Manager proxy) carries start/beat/end liveness records
-# back to the runner for straggler reaping and casualty attribution.
+# Process-pool plumbing.  The graph crosses the process boundary once per
+# worker through the initializer — as an O(1) GraphHandle on the shm
+# transport (the worker attaches read-only views over the shared segment)
+# or as a trusted-unpickled Graph on the legacy pickle transport — and is
+# cached in a module global; tasks then pickle small.  The heartbeat queue
+# (a Manager proxy) carries start/beat/end liveness records back to the
+# runner for straggler reaping and casualty attribution.
 # ---------------------------------------------------------------------------
 _POOL_GRAPH: Graph | None = None
 _POOL_BEATS = None
 
 
-def _worker_init(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    weights: np.ndarray,
-    vertex_weights: np.ndarray,
-    beats=None,
-) -> None:
+def _worker_init(graph_ref: GraphHandle | Graph, beats=None) -> None:
     global _POOL_GRAPH, _POOL_BEATS
-    _POOL_GRAPH = Graph(
-        indptr, indices, weights, vertex_weights, validate=False
-    )
+    if isinstance(graph_ref, GraphHandle):
+        _POOL_GRAPH = Graph.from_handle(graph_ref)
+    else:
+        _POOL_GRAPH = graph_ref
     _POOL_BEATS = beats
 
 
@@ -360,6 +382,20 @@ class PortfolioRunner:
     faults:
         Optional :class:`~repro.engine.faults.FaultInjector` for chaos
         testing; defaults to whatever ``REPRO_FAULTS`` specifies.
+    graph_transport:
+        How the graph reaches pool workers: ``"shm"`` (one shared-memory
+        copy, O(1) handle per worker), ``"pickle"`` (legacy per-worker
+        CSR array pickle) or ``"auto"`` (shm when ``jobs > 1``).  The
+        in-process executor always reports ``"pickle"`` — nothing
+        crosses a process boundary there.
+    islands:
+        Islands per solve for the iterative families (annealing, ant
+        colony, fusion-fission); methods without island support run
+        sequentially with a note in their fault trace.  ``1`` (default)
+        is bit-identical to the sequential path.
+    migration_interval:
+        Session iterations between incumbent migrations when
+        ``islands > 1``.
     """
 
     specs: Sequence[SolverSpec]
@@ -370,6 +406,9 @@ class PortfolioRunner:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     task_timeout: float | None = None
     faults: FaultInjector | None = None
+    graph_transport: str = "auto"
+    islands: int = 1
+    migration_interval: int = 10
 
     def __post_init__(self) -> None:
         if not self.specs:
@@ -396,6 +435,20 @@ class PortfolioRunner:
             )
         if self.faults is None:
             self.faults = FaultInjector.from_env()
+        if self.graph_transport not in GRAPH_TRANSPORTS:
+            raise ConfigurationError(
+                f"graph_transport must be one of {GRAPH_TRANSPORTS}, "
+                f"got {self.graph_transport!r}"
+            )
+        if self.islands < 1:
+            raise ConfigurationError(
+                f"islands must be >= 1, got {self.islands}"
+            )
+        if self.migration_interval < 1:
+            raise ConfigurationError(
+                "migration_interval must be >= 1, "
+                f"got {self.migration_interval}"
+            )
 
     # -- task grid ---------------------------------------------------------
     def make_tasks(
@@ -430,6 +483,8 @@ class PortfolioRunner:
                         seed=seed,
                         spec_index=s,
                         seed_index=i,
+                        islands=self.islands,
+                        migration_interval=self.migration_interval,
                     )
                 )
         return tasks
@@ -497,6 +552,7 @@ class PortfolioRunner:
         on_record: Callable[[RunRecord], None] | None,
     ) -> list[RunRecord]:
         records = []
+        payload_bytes = pickled_graph_bytes(problem.graph)
         for task in tasks:
             if deadline.expired():
                 record = self._cancelled_record(
@@ -506,6 +562,8 @@ class PortfolioRunner:
                 record = self._run_attempts_inprocess(
                     task, problem.graph, deadline
                 )
+            record.graph_transport = "pickle"
+            record.payload_bytes = payload_bytes
             if on_record is not None:
                 on_record(record)
             records.append(record)
@@ -558,19 +616,23 @@ class PortfolioRunner:
             attempt += 1
 
     # -- pool executor ------------------------------------------------------
+    def resolved_transport(self) -> str:
+        """The concrete transport ``"auto"`` resolves to for this runner."""
+        if self.graph_transport == "auto":
+            return "shm" if self.jobs > 1 else "pickle"
+        return self.graph_transport
+
     def _new_pool(
-        self, graph: Graph, beats, max_workers: int
+        self, graph_ref: GraphHandle | Graph, beats, max_workers: int
     ) -> concurrent.futures.ProcessPoolExecutor:
+        """Build the executor; ``graph_ref`` is the transport-specific
+        graph reference (handle or graph) every worker initialises from.
+        Heal rebuilds pass the *same* ref, so shm workers re-attach the
+        segment the dead pool was using."""
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
-            initargs=(
-                graph.indptr,
-                graph.indices,
-                graph.weights,
-                graph.vertex_weights,
-                beats,
-            ),
+            initargs=(graph_ref, beats),
         )
 
     @staticmethod
@@ -601,6 +663,15 @@ class PortfolioRunner:
         import multiprocessing
 
         graph = problem.graph
+        transport = self.resolved_transport()
+        store: GraphStore | None = None
+        if transport == "shm":
+            store = GraphStore.create(graph)
+            graph_ref: GraphHandle | Graph = store.handle
+            payload_bytes = store.handle.payload_bytes()
+        else:
+            graph_ref = graph
+            payload_bytes = pickled_graph_bytes(graph)
         records: list[RunRecord] = []
         states = {
             (t.spec_index, t.seed_index): _TaskState(t) for t in tasks
@@ -618,9 +689,11 @@ class PortfolioRunner:
 
         manager = multiprocessing.Manager()
         beats = manager.Queue()
-        pool = self._new_pool(graph, beats, max_workers)
+        pool = self._new_pool(graph_ref, beats, max_workers)
 
         def emit(record: RunRecord) -> None:
+            record.graph_transport = transport
+            record.payload_bytes = payload_bytes
             if on_record is not None:
                 on_record(record)
             records.append(record)
@@ -732,7 +805,9 @@ class PortfolioRunner:
                     state.eligible_at = 0.0
                     waiting.append(key)
             pool.shutdown(wait=False, cancel_futures=True)
-            pool = self._new_pool(graph, beats, max_workers)
+            # Same graph_ref: replacement shm workers re-attach the very
+            # segment their predecessors were mapped to — no re-copy.
+            pool = self._new_pool(graph_ref, beats, max_workers)
 
         try:
             while len(finished) < len(states):
@@ -907,4 +982,9 @@ class PortfolioRunner:
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
             manager.shutdown()
+            if store is not None:
+                # After the pool is down nothing references the segment;
+                # this unlinks on every exit path, deadline cancellations
+                # and on_record aborts included.
+                store.destroy()
         return records

@@ -388,6 +388,23 @@ class FusionFissionRun:
             self.restarts += 1
         return True
 
+    def adopt_incumbent(self, partition: Partition, raw: float) -> None:
+        """Adopt a migrated incumbent (island model): the donated
+        molecule becomes the current state, recorded through the normal
+        best-tracking path.
+
+        ``raw`` is the donor's raw objective at its part count (islands
+        migrate target-k incumbents, so this is ``best_raw_at_target``
+        territory); the scaled energy is recomputed here because binding
+        energy depends on the part count.  Deterministic — no random
+        draws; temperature and law table are untouched.
+        """
+        raw = float(raw)
+        scaled = self.energy.scale_raw(raw, partition.num_parts)
+        self.current = partition.copy()
+        self.current_energy = scaled
+        self._record(self.current, scaled, raw)
+
     def finalize(self) -> FusionFissionResult:
         """Assemble the result (coerce to the target k if never visited)."""
         if self.best_at_target is None:

@@ -204,6 +204,8 @@ class FusionFissionPartitioner:
     init_cascade: str = "auto"
 
     name = "fusion-fission"
+    #: Iterative family: sessions may run island-model (`islands > 1`).
+    supports_islands = True
 
     def _energy(
         self,

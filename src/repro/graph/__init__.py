@@ -14,6 +14,7 @@ also provides:
 """
 
 from repro.graph.graph import Graph
+from repro.graph.store import GraphHandle, GraphStore
 from repro.graph.builder import GraphBuilder
 from repro.graph.connectivity import (
     bfs_order,
@@ -57,6 +58,8 @@ from repro.graph.io import (
 
 __all__ = [
     "Graph",
+    "GraphHandle",
+    "GraphStore",
     "GraphBuilder",
     "bfs_order",
     "connected_components",

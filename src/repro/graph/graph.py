@@ -197,6 +197,61 @@ class Graph:
         return cls(indptr, dst, wt, vertex_weights=vertex_weights, validate=False)
 
     @classmethod
+    def _from_trusted(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        vertex_weights: np.ndarray,
+    ) -> "Graph":
+        """Rebuild from CSR arrays that are known-good by construction.
+
+        The unpickle target of :meth:`__reduce__`: a pickled graph was
+        valid when serialised and the arrays travel verbatim, so the
+        trusted round-trip skips the O(m log m) structural revalidation
+        (``validate=True`` stays the default for user-facing
+        constructors).
+        """
+        return cls(indptr, indices, weights, vertex_weights, validate=False)
+
+    def __reduce__(self):
+        """Pickle as the four CSR arrays through the trusted constructor.
+
+        Default ``__slots__`` pickling would also ship the derived
+        caches (`arc_owners` alone is O(2m) int64) — tripling the
+        payload for data every process can recompute lazily.
+        """
+        return (
+            Graph._from_trusted,
+            (self.indptr, self.indices, self.weights, self.vertex_weights),
+        )
+
+    def to_shared(self, name: str | None = None):
+        """Place this graph's CSR arrays in shared memory.
+
+        Returns the owning :class:`~repro.graph.store.GraphStore`; its
+        ``handle`` pickles in O(1) and any process can map the graph
+        back with :meth:`from_handle`.  The caller owns the segment
+        lifecycle (context manager / ``destroy()``).
+        """
+        from repro.graph.store import GraphStore
+
+        return GraphStore.create(self, name=name)
+
+    @classmethod
+    def from_handle(cls, handle) -> "Graph":
+        """Attach a shared-memory graph as read-only views (zero-copy).
+
+        The attachment is cached per process: repeated calls with the
+        same :class:`~repro.graph.store.GraphHandle` reuse one mapping.
+        The returned graph's arrays are not writable — it is a view of
+        memory owned by the creating process.
+        """
+        from repro.graph.store import GraphStore
+
+        return GraphStore.attach(handle).graph()
+
+    @classmethod
     def empty(cls, n: int) -> "Graph":
         """An edgeless graph on ``n`` vertices."""
         return cls(
