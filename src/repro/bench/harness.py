@@ -25,7 +25,26 @@ from repro.common.rng import SeedLike, ensure_rng
 from repro.common.timer import Timer
 from repro.graph.graph import Graph
 
-__all__ = ["MethodResult", "run_method", "run_suite", "format_table"]
+__all__ = [
+    "MethodResult",
+    "instance_graph",
+    "run_method",
+    "run_suite",
+    "format_table",
+]
+
+
+def instance_graph(name: str, seed: SeedLike = None) -> Graph:
+    """Build a registered workload instance's graph for a bench run.
+
+    Thin lazy-import shim over :func:`repro.workloads.build_instance` so
+    the bench CLIs (``table1 --instance mesh-200``) can target any
+    registered family without importing the workloads catalog at module
+    load.  Name resolution (aliases, did-you-mean) happens there.
+    """
+    from repro.workloads import build_instance
+
+    return build_instance(name, seed)
 
 
 @dataclass

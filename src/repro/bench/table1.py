@@ -15,7 +15,12 @@ import argparse
 import json
 
 from repro.atc.europe import core_area_graph
-from repro.bench.harness import MethodResult, format_table, run_suite
+from repro.bench.harness import (
+    MethodResult,
+    format_table,
+    instance_graph,
+    run_suite,
+)
 from repro.bench.registry import table1_methods
 from repro.common.rng import SeedLike
 
@@ -29,14 +34,20 @@ def run_table1(
     graph=None,
     verbose: bool = False,
     jobs: int = 1,
+    instance: str | None = None,
 ) -> list[MethodResult]:
     """Run the full Table-1 suite; returns one result per method row.
 
     ``jobs > 1`` runs the 17 rows on the portfolio engine's process pool
-    (same seeds, same numbers, less wall-clock).
+    (same seeds, same numbers, less wall-clock).  ``instance`` swaps the
+    default ATC graph for any registered workload instance
+    (``repro workloads list``); an explicit ``graph`` wins over both.
     """
     if graph is None:
-        graph = core_area_graph(seed=seed)
+        if instance is not None:
+            graph = instance_graph(instance, seed)
+        else:
+            graph = core_area_graph(seed=seed)
     methods = table1_methods(k=k, metaheuristic_budget=metaheuristic_budget)
     return run_suite(methods, graph, seed=seed, verbose=verbose, jobs=jobs)
 
@@ -48,6 +59,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--seed", type=int, default=2006)
     parser.add_argument("--budget", type=float, default=30.0,
                         help="seconds per metaheuristic")
+    parser.add_argument("--instance", type=str, default=None,
+                        help="registered workload instance to bench "
+                             "instead of the ATC default "
+                             "(see `repro workloads list`)")
     parser.add_argument("--json", type=str, default=None,
                         help="also dump results to this JSON file")
     parser.add_argument("--jobs", type=int, default=1,
@@ -55,12 +70,13 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
     results = run_table1(
         k=args.k, seed=args.seed, metaheuristic_budget=args.budget,
-        verbose=True, jobs=args.jobs,
+        verbose=True, jobs=args.jobs, instance=args.instance,
     )
+    source = args.instance or "synthetic core area"
     print()
     print(format_table(
         results,
-        title=f"Table 1 reproduction (k={args.k}, synthetic core area, "
+        title=f"Table 1 reproduction (k={args.k}, {source}, "
               f"seed={args.seed}; Cut divided by 1000)",
     ))
     if args.json:
@@ -72,7 +88,8 @@ def main(argv: list[str] | None = None) -> None:
             "schema": "repro-bench-table1/v1",
             "version": __version__,
             "config": {"k": args.k, "seed": args.seed,
-                       "budget": args.budget, "jobs": args.jobs},
+                       "budget": args.budget, "jobs": args.jobs,
+                       "instance": args.instance},
             "results": [r.as_dict() for r in results],
         }
         with open(args.json, "w") as fh:

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Seven subcommands, mirroring how Chaco/Metis are driven from the shell::
+Eight subcommands, mirroring how Chaco/Metis are driven from the shell::
 
     repro solve INPUT -k 32 --method ff --budget 2s --events events.jsonl \\
                 --checkpoint ck.json
     repro partition INPUT -k 32 --method fusion-fission -o parts.txt
     repro portfolio INPUT -k 32 --methods ff,annealing --seeds 4 --jobs 4
+    repro workloads run atc-core --json report.json
     repro evaluate INPUT parts.txt
     repro generate atc -o core_area.graph
     repro convert INPUT OUTPUT
@@ -31,10 +32,15 @@ Seven subcommands, mirroring how Chaco/Metis are driven from the shell::
   fault tolerance (same-seed retries, straggler reaping, pool
   self-healing) and ``--faults`` injects deterministic chaos faults —
   see ``docs/robustness.md``.
+* ``workloads`` drives the instance registry (``repro.workloads``):
+  ``list``/``show`` browse the registered families, ``run`` executes an
+  instance's frozen quality bands (static) or its warm-started dynamic
+  epoch chain and writes a ``repro-workloads/v1`` report — the same
+  verdicts the pytest band gate asserts.  See ``docs/workloads.md``.
 * ``evaluate`` scores an existing assignment file on all three paper
   criteria plus balance/connectivity diagnostics.
 * ``generate`` writes a synthetic instance (``atc``, ``grid``, ``caveman``,
-  ``geometric``) in METIS format.
+  ``geometric``, ``powerlaw``) in METIS format.
 * ``convert`` transcodes between the supported graph formats by extension.
 * ``bench perf`` runs the hot-path microbenchmarks (optimized vs frozen
   reference kernels) and writes the tracked ``BENCH_*.json`` trajectory;
@@ -293,8 +299,14 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             alias_text = f" (aliases: {', '.join(aliases)})" if aliases else ""
             print(f"{name:<22} {summary}{alias_text}")
         return 0
-    if args.input is None or args.k is None:
-        raise ReproError("portfolio needs INPUT and -k (or --list-methods)")
+    if args.input is not None and args.instance is not None:
+        raise ReproError("portfolio takes INPUT or --instance, not both")
+    if args.input is None and args.instance is None:
+        raise ReproError(
+            "portfolio needs INPUT or --instance (or --list-methods)"
+        )
+    if args.input is not None and args.k is None:
+        raise ReproError("portfolio needs -k with a graph file INPUT")
     # Method names are validated before any graph I/O.
     specs = [
         SolverSpec.for_method(
@@ -303,10 +315,17 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         for name in args.methods.split(",")
         if name.strip()
     ]
-    graph = read_graph_auto(args.input)
-    problem = PartitionProblem(
-        graph, k=args.k, objective=args.objective, name=str(args.input)
-    )
+    if args.instance is not None:
+        # Registered workload instance: the graph comes from the
+        # builder and -k defaults to the instance's frozen default_k.
+        problem = PartitionProblem.from_instance(
+            args.instance, k=args.k, objective=args.objective
+        )
+    else:
+        graph = read_graph_auto(args.input)
+        problem = PartitionProblem(
+            graph, k=args.k, objective=args.objective, name=str(args.input)
+        )
     runner = PortfolioRunner(
         specs,
         num_seeds=args.seeds,
@@ -346,6 +365,79 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        get_instance,
+        instance_aliases,
+        list_instances,
+        run_instance,
+    )
+
+    if args.workloads_command == "list":
+        instances = list_instances()
+        if args.tier:
+            instances = [i for i in instances if i.tier == args.tier]
+        print(f"{'name':<16} {'kind':<8} {'family':<10} {'tier':<6} "
+              f"{'k':>3}  size")
+        for inst in instances:
+            print(f"{inst.name:<16} {inst.kind:<8} {inst.family:<10} "
+                  f"{inst.tier:<6} {inst.default_k:>3}  {inst.size_hint}")
+        return 0
+
+    if args.workloads_command == "show":
+        inst = get_instance(args.name)
+        for key, value in inst.metadata().items():
+            if isinstance(value, (list, tuple)):
+                value = ", ".join(str(v) for v in value)
+            print(f"{key:>18}: {value}")
+        aliases = instance_aliases(inst.name)
+        if aliases:
+            print(f"{'aliases':>18}: {', '.join(aliases)}")
+        for band in getattr(inst, "bands", ()):
+            opts = "".join(f" {k}={v}" for k, v in band.options)
+            print(f"{'band':>18}: {band.method} seed={band.seed} "
+                  f"cut=[{band.cut_lo:g}, {band.cut_hi:g}] "
+                  f"imbalance<={band.max_imbalance:g}{opts}")
+        return 0
+
+    # run
+    report = run_instance(
+        args.name,
+        seed=args.seed,
+        epochs=args.epochs,
+        migration_lambda=args.migration_lambda,
+        method=args.method,
+        json_path=args.json,
+    )
+    name = report["instance"]["name"]
+    if "dynamic" in report:
+        dyn = report["dynamic"]
+        for rec in dyn["epochs"]:
+            print(f"{name} epoch {rec['epoch']}: "
+                  f"{'warm' if rec['warm'] else 'cold'} "
+                  f"objective={rec['objective_value']:g} "
+                  f"migration={rec['migration_cost']:g} "
+                  f"combined={rec['combined']:g} ({rec['status']})")
+        print(f"{name}: total_migration={dyn['total_migration']:g} "
+              f"total_combined={dyn['total_combined']:g}")
+    else:
+        for verdict in report["bands"]:
+            line = (f"{name} {verdict['method']} seed={verdict['seed']}: "
+                    f"cut={verdict['cut']:g} "
+                    f"imbalance={verdict['imbalance']:.3f} "
+                    f"-> {verdict['verdict']}")
+            if verdict["reasons"]:
+                line += f" ({'; '.join(verdict['reasons'])})"
+            print(line)
+    if args.json:
+        print(f"# report -> {args.json}", file=sys.stderr)
+    if not report["ok"]:
+        print(f"error: {name} failed its quality gate", file=sys.stderr)
+        return 2
+    print(f"# {name}: ok", file=sys.stderr)
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = read_graph_auto(args.input)
     assignment = np.asarray(
@@ -376,6 +468,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         graph = weighted_caveman_graph(args.caves, args.cave_size)
     elif args.family == "geometric":
         graph, _ = random_geometric_graph(args.n, args.radius, seed=args.seed)
+    elif args.family == "powerlaw":
+        from repro.graph import powerlaw_graph
+
+        graph = powerlaw_graph(args.n, args.m, seed=args.seed)
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown family {args.family}")
     write_graph_auto(graph, args.output)
@@ -495,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="race (method × seed) combinations in parallel, keep the best",
     )
     f.add_argument("input", nargs="?", default=None)
+    f.add_argument("--instance", default=None,
+                   help="registered workload instance name instead of a "
+                        "graph file (see `repro workloads list`; -k "
+                        "defaults to the instance's default_k)")
     f.add_argument("-k", type=int, default=None, help="number of parts")
     f.add_argument("--methods", default="fusion-fission,annealing,multilevel",
                    help="comma-separated method names/aliases")
@@ -534,6 +634,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list methods, aliases and summaries, then exit")
     f.set_defaults(func=_cmd_portfolio)
 
+    w = sub.add_parser(
+        "workloads",
+        help="registered instances: list, show metadata, run quality gates",
+    )
+    wsub = w.add_subparsers(dest="workloads_command", required=True)
+    wl = wsub.add_parser("list", help="list registered instances")
+    wl.add_argument("--tier", choices=["small", "large"], default=None,
+                    help="only instances of this tier")
+    wl.set_defaults(func=_cmd_workloads)
+    ws = wsub.add_parser("show", help="print one instance's card and bands")
+    ws.add_argument("name")
+    ws.set_defaults(func=_cmd_workloads)
+    wr = wsub.add_parser(
+        "run",
+        help="run an instance's frozen quality bands (static) or its "
+             "warm-started epoch chain (dynamic); exit 2 on gate failure",
+    )
+    wr.add_argument("name")
+    wr.add_argument("--seed", type=int, default=None,
+                    help="override the frozen graph seed (band windows "
+                         "were calibrated on the default; off-default "
+                         "seeds may legitimately fall outside)")
+    wr.add_argument("--epochs", type=int, default=None,
+                    help="dynamic only: truncate the epoch cycle")
+    wr.add_argument("--migration-lambda", type=float, default=None,
+                    help="dynamic only: weight of the migration term")
+    wr.add_argument("--method", default=None,
+                    help="dynamic only: override the instance's solver")
+    wr.add_argument("--json", default=None,
+                    help="write the repro-workloads/v1 report to this file")
+    wr.set_defaults(func=_cmd_workloads)
+
     e = sub.add_parser("evaluate", help="score an assignment file")
     e.add_argument("input")
     e.add_argument("assignment")
@@ -541,7 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.set_defaults(func=_cmd_evaluate)
 
     g = sub.add_parser("generate", help="write a synthetic instance")
-    g.add_argument("family", choices=["atc", "grid", "caveman", "geometric"])
+    g.add_argument("family",
+                   choices=["atc", "grid", "caveman", "geometric",
+                            "powerlaw"])
     g.add_argument("-o", "--output", required=True)
     g.add_argument("--seed", type=int, default=2006)
     g.add_argument("--rows", type=int, default=32)
@@ -550,6 +684,8 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--cave-size", type=int, default=8)
     g.add_argument("--n", type=int, default=500)
     g.add_argument("--radius", type=float, default=0.08)
+    g.add_argument("--m", type=int, default=3,
+                   help="powerlaw: edges per new vertex (BA attachment)")
     g.set_defaults(func=_cmd_generate)
 
     c = sub.add_parser("convert", help="transcode graph formats")

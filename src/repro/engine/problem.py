@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike
 from repro.graph.graph import Graph
 from repro.partition.metrics import PartitionReport, evaluate_partition
 from repro.partition.objectives import get_objective
@@ -58,6 +59,33 @@ class PartitionProblem:
         # objective registry is case-insensitive, report fields are not.
         self.objective = str(self.objective).strip().lower()
         self._objective_fn = get_objective(self.objective)
+
+    @classmethod
+    def from_instance(
+        cls,
+        name: str,
+        seed: SeedLike = None,
+        k: int | None = None,
+        objective: str = "mcut",
+    ) -> "PartitionProblem":
+        """Build a problem from a registered workload instance.
+
+        ``name`` resolves through :mod:`repro.workloads` (aliases and
+        did-you-mean included); ``k=None`` uses the instance's frozen
+        ``default_k``.  Dynamic instances are rejected there — they run
+        through :func:`repro.workloads.run_dynamic`, not a one-shot
+        problem.
+        """
+        from repro.workloads import build_instance, get_instance
+
+        instance = get_instance(name)
+        graph = build_instance(name, seed)
+        return cls(
+            graph,
+            k=instance.default_k if k is None else int(k),
+            objective=objective,
+            name=instance.name,
+        )
 
     def partition_from(self, assignment: np.ndarray) -> Partition:
         """Rebuild a :class:`Partition` from a worker's assignment array."""

@@ -39,6 +39,7 @@ from repro.graph.generators import (
     weighted_caveman_graph,
     star_graph,
     barbell_graph,
+    powerlaw_graph,
 )
 from repro.graph.analysis import (
     DegreeStatistics,
@@ -79,6 +80,7 @@ __all__ = [
     "weighted_caveman_graph",
     "star_graph",
     "barbell_graph",
+    "powerlaw_graph",
     "DegreeStatistics",
     "degree_statistics",
     "modularity",

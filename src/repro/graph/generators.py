@@ -26,6 +26,7 @@ __all__ = [
     "barbell_graph",
     "weighted_caveman_graph",
     "random_geometric_graph",
+    "powerlaw_graph",
 ]
 
 
@@ -149,6 +150,66 @@ def weighted_caveman_graph(
     if num_caves > 2:
         builder.add_edge((num_caves - 1) * cave_size + cave_size - 1, 0, inter_weight)
     return builder.build()
+
+
+def powerlaw_graph(
+    n: int,
+    m: int = 3,
+    seed: SeedLike = None,
+    weight: float = 1.0,
+) -> Graph:
+    """Seeded Barabási–Albert-style preferential-attachment graph.
+
+    Starts from ``m`` isolated seed vertices; each new vertex attaches to
+    ``m`` distinct existing vertices chosen with probability proportional
+    to their current degree (uniformly for the very first attachment,
+    when every degree is zero).  The resulting degree sequence is
+    heavy-tailed — a few hubs collect a large share of the edges — which
+    is the regime none of the structured generators (grid/torus/caveman)
+    covers and the shape of scale-free communication and flow networks.
+
+    The construction is a pure function of ``seed``: the same
+    ``(n, m, seed)`` always yields a bit-identical graph, so workload
+    instances built on it can freeze expected-quality bands.
+
+    Parameters
+    ----------
+    n:
+        Total number of vertices (``n > m``).
+    m:
+        Edges added per new vertex (``m >= 1``); the graph ends up with
+        exactly ``m * (n - m)`` edges and is connected.
+    weight:
+        Uniform edge weight (integral by default so the bulk kernels'
+        exact-arithmetic gates stay on).
+    """
+    if m < 1:
+        raise GraphError(f"powerlaw needs m >= 1, got {m}")
+    if n <= m:
+        raise GraphError(f"powerlaw needs n > m, got n={n}, m={m}")
+    rng = ensure_rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    # The first new vertex connects to all m seed vertices; afterwards
+    # `repeated` holds every edge endpoint so a uniform draw from it is a
+    # degree-proportional draw (the classic BA sampling trick).
+    targets = list(range(m))
+    repeated: list[int] = []
+    for v in range(m, n):
+        us.extend([v] * len(targets))
+        vs.extend(targets)
+        repeated.extend(targets)
+        repeated.extend([v] * len(targets))
+        if v + 1 < n:
+            picks: list[int] = []
+            while len(picks) < m:
+                candidate = int(repeated[int(rng.integers(len(repeated)))])
+                if candidate not in picks:
+                    picks.append(candidate)
+            targets = picks
+    u = np.asarray(us, dtype=np.int64)
+    vv = np.asarray(vs, dtype=np.int64)
+    return Graph.from_arrays(n, u, vv, np.full(u.shape[0], float(weight)))
 
 
 def random_geometric_graph(

@@ -1,0 +1,317 @@
+"""The registered instance catalog.
+
+Importing this module populates the registry (the
+``data_registry``-style plugin idiom): every instance is declared with
+its metadata and **frozen expected-quality bands** — observed values of
+deterministic ``(method, seed)`` runs at freeze time, widened by ~15%
+slack for legitimate future algorithm changes.  The pytest gate
+(``tests/test_workloads_bands.py``) and the ``workloads-smoke`` CI job
+re-run the pairs and fail on any excursion.
+
+Families
+--------
+* structured meshes (``grid``/``torus``) — the classic mesh-partitioning
+  testbed;
+* ``geometric`` — random geometric graphs, the ATC-like proximity shape;
+* ``mesh`` — Delaunay triangulations of seeded random points, the
+  Walshaw/Chaco-archive-style synthetic stand-in (those archives are
+  finite-element meshes; a seeded triangulation reproduces their planar
+  bounded-degree structure without shipping their files);
+* ``power-law`` — Barabási–Albert preferential attachment
+  (:func:`repro.graph.generators.powerlaw_graph`), the heavy-tailed
+  regime no structured generator covers;
+* ``caveman`` — planted community structure with a known optimum;
+* ``atc`` — the paper's synthetic European core-area sector graph;
+* dynamic scenarios (``*-day``/``*-drift``) — time-varying edge weights
+  with warm-started repartitioning (:mod:`repro.workloads.dynamic`).
+
+To register a new family, follow any block below: build deterministic
+from the seed, freeze bands by running the pairs once
+(``repro workloads run NAME`` prints observed values), register with
+aliases.  See ``docs/workloads.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.graph.generators import (
+    grid_graph,
+    powerlaw_graph,
+    random_geometric_graph,
+    torus_graph,
+    weighted_caveman_graph,
+)
+from repro.graph.graph import Graph
+from repro.workloads.dynamic import DynamicInstance
+from repro.workloads.instance import (
+    TIER_LARGE,
+    TIER_SMALL,
+    QualityBand,
+    WorkloadInstance,
+)
+from repro.workloads.registry import register_instance
+
+__all__ = ["delaunay_mesh_graph"]
+
+
+def delaunay_mesh_graph(n: int, seed: SeedLike = None) -> Graph:
+    """Delaunay triangulation of ``n`` seeded uniform points, unit weights.
+
+    The Walshaw/Chaco-style synthetic stand-in: planar, bounded-degree,
+    spatially local — the structure of the archives' finite-element
+    meshes, reproducible from a seed instead of shipped files.
+    """
+    from scipy.spatial import Delaunay
+
+    rng = ensure_rng(seed)
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    edges = set()
+    for simplex in tri.simplices:
+        for i in range(3):
+            a, b = int(simplex[i]), int(simplex[(i + 1) % 3])
+            edges.add((min(a, b), max(a, b)))
+    pairs = np.asarray(sorted(edges), dtype=np.int64)
+    return Graph.from_arrays(
+        n, pairs[:, 0], pairs[:, 1], np.ones(pairs.shape[0])
+    )
+
+
+def _atc_graph(seed: SeedLike) -> Graph:
+    from repro.atc.europe import core_area_graph
+
+    return core_area_graph(seed=seed)
+
+
+# -- structured meshes ------------------------------------------------------
+
+register_instance(WorkloadInstance(
+    name="grid-16",
+    family="grid",
+    tier=TIER_SMALL,
+    description="16x16 unit grid; the textbook 2-D mesh testbed",
+    default_k=4,
+    size_hint="n=256 m=480",
+    builder=lambda seed: grid_graph(16, 16),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=54.0, cut_hi=74.0,
+                    max_imbalance=1.12),
+        QualityBand("linear", 0, cut_lo=81.0, cut_hi=111.0,
+                    max_imbalance=1.05),
+        QualityBand("percolation", 0, cut_lo=83.0, cut_hi=113.0,
+                    max_imbalance=1.80),
+    ),
+    tags=("planar", "mesh", "deterministic-topology"),
+), aliases=("grid", "grid16"))
+
+register_instance(WorkloadInstance(
+    name="torus-12",
+    family="torus",
+    tier=TIER_SMALL,
+    description="12x12 torus (grid with wraparound; no boundary to hide in)",
+    default_k=4,
+    size_hint="n=144 m=288",
+    builder=lambda seed: torus_graph(12, 12),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=88.0, cut_hi=120.0,
+                    max_imbalance=1.25),
+        QualityBand("linear", 0, cut_lo=81.0, cut_hi=111.0,
+                    max_imbalance=1.05),
+        QualityBand("percolation", 0, cut_lo=107.0, cut_hi=145.0,
+                    max_imbalance=1.85),
+    ),
+    tags=("mesh", "regular", "deterministic-topology"),
+), aliases=("torus",))
+
+# -- planted communities ----------------------------------------------------
+
+register_instance(WorkloadInstance(
+    name="caveman-8x6",
+    family="caveman",
+    tier=TIER_SMALL,
+    description="8 caves of 6; planted optimum cuts the 8 weak "
+                "inter-cave edges (Cut = 16)",
+    default_k=8,
+    size_hint="n=48 m=128",
+    builder=lambda seed: weighted_caveman_graph(8, 6),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=14.0, cut_hi=19.0,
+                    max_imbalance=1.10),
+        QualityBand("linear", 0, cut_lo=14.0, cut_hi=19.0,
+                    max_imbalance=1.10),
+        QualityBand("percolation", 0, cut_lo=14.0, cut_hi=19.0,
+                    max_imbalance=1.10),
+        # One metaheuristic gate: SA must find the planted optimum in a
+        # bounded walk.
+        QualityBand("simulated-annealing", 0, cut_lo=14.0, cut_hi=19.0,
+                    max_imbalance=1.10, options=(("max_steps", 1500),)),
+    ),
+    tags=("community", "planted-optimum", "deterministic-topology"),
+), aliases=("caveman",))
+
+# -- geometric / mesh stand-ins --------------------------------------------
+
+register_instance(WorkloadInstance(
+    name="geometric-150",
+    family="geometric",
+    tier=TIER_SMALL,
+    description="random geometric graph (r=0.12) with distance-decay "
+                "float weights; the ATC-like proximity shape",
+    default_k=4,
+    size_hint="n=150 m~430",
+    builder=lambda seed: random_geometric_graph(150, 0.12, seed=seed)[0],
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=1.0, cut_hi=3.5,
+                    max_imbalance=1.30),
+        QualityBand("linear", 0, cut_lo=195.0, cut_hi=270.0,
+                    max_imbalance=1.10),
+        QualityBand("percolation", 0, cut_lo=20.0, cut_hi=32.0,
+                    max_imbalance=3.60),
+    ),
+    tags=("geometric", "float-weights"),
+), aliases=("geometric", "geo-150"))
+
+register_instance(WorkloadInstance(
+    name="mesh-200",
+    family="mesh",
+    tier=TIER_SMALL,
+    description="Delaunay triangulation of 200 seeded points; "
+                "Walshaw/Chaco-archive-style synthetic stand-in",
+    default_k=4,
+    size_hint="n=200 m~580",
+    builder=lambda seed: delaunay_mesh_graph(200, seed=seed),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=103.0, cut_hi=141.0,
+                    max_imbalance=1.30),
+        QualityBand("linear", 0, cut_lo=758.0, cut_hi=1026.0,
+                    max_imbalance=1.05),
+        QualityBand("percolation", 0, cut_lo=119.0, cut_hi=161.0,
+                    max_imbalance=1.65),
+    ),
+    tags=("planar", "mesh", "walshaw-style"),
+), aliases=("mesh", "delaunay-200"))
+
+# -- heavy-tailed degrees ---------------------------------------------------
+
+register_instance(WorkloadInstance(
+    name="powerlaw-200",
+    family="power-law",
+    tier=TIER_SMALL,
+    description="Barabási–Albert preferential attachment (m=3); "
+                "heavy-tailed hub degrees",
+    default_k=4,
+    size_hint="n=200 m=591",
+    builder=lambda seed: powerlaw_graph(200, 3, seed=seed),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=423.0, cut_hi=573.0,
+                    max_imbalance=1.30),
+        QualityBand("linear", 0, cut_lo=680.0, cut_hi=920.0,
+                    max_imbalance=1.05),
+        QualityBand("percolation", 0, cut_lo=404.0, cut_hi=548.0,
+                    max_imbalance=2.80),
+    ),
+    tags=("heavy-tailed", "scale-free"),
+), aliases=("powerlaw", "ba-200"))
+
+# -- large tier (slow-marked; gated by the workloads-smoke CI job) ----------
+
+register_instance(WorkloadInstance(
+    name="grid-64",
+    family="grid",
+    tier=TIER_LARGE,
+    description="64x64 unit grid; the small tier's mesh at 16x the size",
+    default_k=8,
+    size_hint="n=4096 m=8064",
+    builder=lambda seed: grid_graph(64, 64),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=450.0, cut_hi=610.0,
+                    max_imbalance=1.25),
+        QualityBand("linear", 0, cut_lo=761.0, cut_hi=1031.0,
+                    max_imbalance=1.05),
+    ),
+    tags=("planar", "mesh", "deterministic-topology"),
+), aliases=("grid64",))
+
+register_instance(WorkloadInstance(
+    name="powerlaw-2000",
+    family="power-law",
+    tier=TIER_LARGE,
+    description="Barabási–Albert (m=4) at n=2000; hub-dominated cuts",
+    default_k=8,
+    size_hint="n=2000 m=7984",
+    builder=lambda seed: powerlaw_graph(2000, 4, seed=seed),
+    default_seed=0,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=7340.0, cut_hi=9932.0,
+                    max_imbalance=1.35),
+        QualityBand("linear", 0, cut_lo=10944.0, cut_hi=14808.0,
+                    max_imbalance=1.05),
+    ),
+    tags=("heavy-tailed", "scale-free"),
+), aliases=("ba-2000",))
+
+register_instance(WorkloadInstance(
+    name="atc-core",
+    family="atc",
+    tier=TIER_LARGE,
+    description="synthetic European core-area sector graph "
+                "(762 sectors, 3165 flow edges; paper §6)",
+    default_k=32,
+    size_hint="n=762 m=3165",
+    builder=_atc_graph,
+    default_seed=2006,
+    bands=(
+        QualityBand("multilevel", 0, cut_lo=46180.0, cut_hi=62480.0,
+                    max_imbalance=1.45),
+        QualityBand("linear", 0, cut_lo=228638.0, cut_hi=309334.0,
+                    max_imbalance=1.10),
+    ),
+    tags=("atc", "paper-instance", "gravity-flows"),
+), aliases=("atc", "europe", "core-area"))
+
+# -- dynamic repartitioning scenarios ---------------------------------------
+
+register_instance(DynamicInstance(
+    name="caveman-drift",
+    family="caveman",
+    tier=TIER_SMALL,
+    description="6 caves of 6 under a diurnal weight cycle; the small "
+                "warm-start correctness scenario",
+    default_k=6,
+    size_hint="n=36 m=96 x4 epochs",
+    base_builder=lambda seed: weighted_caveman_graph(6, 6),
+    num_epochs=4,
+    amplitude=0.5,
+    migration_lambda=1.0,
+    default_seed=0,
+    method="simulated-annealing",
+    method_options=(("max_steps", 1200),),
+    tags=("community", "dynamic"),
+), aliases=("drift",))
+
+register_instance(DynamicInstance(
+    name="atc-day",
+    family="atc",
+    tier=TIER_LARGE,
+    description="the core-area sector graph over a day: 6 four-hour "
+                "epochs of diurnal traffic, warm-started repartitioning",
+    default_k=32,
+    size_hint="n=762 m=3165 x6 epochs",
+    base_builder=_atc_graph,
+    num_epochs=6,
+    amplitude=0.6,
+    migration_lambda=2.0,
+    default_seed=2006,
+    method="simulated-annealing",
+    method_options=(("max_steps", 4000),),
+    tags=("atc", "dynamic", "diurnal"),
+), aliases=("day", "atc-diurnal"))

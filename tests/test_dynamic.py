@@ -1,0 +1,207 @@
+"""Tests for dynamic repartitioning (epochs, warm starts, migration cost)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.workloads import (
+    diurnal_weights,
+    get_instance,
+    migration_cost,
+    run_dynamic,
+    warm_start_checkpoint,
+)
+from repro.workloads.instance import graph_fingerprint
+
+
+@pytest.fixture(scope="module")
+def drift():
+    return get_instance("caveman-drift")
+
+
+class TestDiurnalWeights:
+    def test_topology_preserved(self, drift):
+        base = drift.base_graph()
+        for epoch in range(drift.num_epochs):
+            g = diurnal_weights(base, epoch, drift.num_epochs, seed=0)
+            assert g.num_vertices == base.num_vertices
+            assert g.num_edges == base.num_edges
+            u0, v0, _ = base.edge_arrays()
+            u1, v1, _ = g.edge_arrays()
+            assert np.array_equal(u0, u1) and np.array_equal(v0, v1)
+
+    def test_weights_integral_and_positive(self, drift):
+        base = drift.base_graph()
+        g = diurnal_weights(base, 1, 4, seed=0)
+        _, _, w = g.edge_arrays()
+        assert np.all(w >= 1.0)
+        assert np.array_equal(w, np.round(w))
+        assert g.has_integral_weights
+
+    def test_deterministic(self, drift):
+        base = drift.base_graph()
+        g1 = diurnal_weights(base, 2, 4, seed=7)
+        g2 = diurnal_weights(base, 2, 4, seed=7)
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+        assert graph_fingerprint(g1) != graph_fingerprint(
+            diurnal_weights(base, 2, 4, seed=8)
+        )
+
+    def test_validation(self, drift):
+        base = drift.base_graph()
+        with pytest.raises(ConfigurationError, match="epoch"):
+            diurnal_weights(base, 4, 4, seed=0)
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            diurnal_weights(base, 0, 4, seed=0, amplitude=1.5)
+
+
+class TestMigrationCost:
+    def test_counts_moved_vertices(self):
+        prev = np.array([0, 0, 1, 1])
+        curr = np.array([0, 1, 1, 0])
+        assert migration_cost(prev, curr) == 2.0
+
+    def test_weighted(self):
+        prev = np.array([0, 0, 1])
+        curr = np.array([1, 0, 1])
+        weights = np.array([5.0, 3.0, 2.0])
+        assert migration_cost(prev, curr, weights) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError, match="shapes"):
+            migration_cost(np.zeros(3), np.zeros(4))
+
+    def test_matches_bruteforce_recount(self, drift):
+        result = run_dynamic(drift, epochs=3)
+        base = drift.base_graph()
+        for prev_rec, curr_rec in zip(result.records, result.records[1:]):
+            brute = sum(
+                float(base.vertex_weights[v])
+                for v in range(base.num_vertices)
+                if prev_rec.assignment[v] != curr_rec.assignment[v]
+            )
+            assert curr_rec.migration_cost == brute
+
+
+class TestWarmStartCheckpoint:
+    def _finished_checkpoint(self, drift):
+        graphs = list(drift.epoch_graphs())
+        from repro.api import SolveRequest, get_solver
+
+        solver = get_solver(
+            drift.method, drift.default_k, **dict(drift.method_options)
+        )
+        session = solver.start(SolveRequest(
+            graph=graphs[0], k=drift.default_k, seed=drift.default_seed,
+        ))
+        session.run()
+        return session.checkpoint(), graphs
+
+    def test_rebased_fields(self, drift):
+        checkpoint, graphs = self._finished_checkpoint(drift)
+        warm = warm_start_checkpoint(checkpoint, graphs[1])
+        assert warm["status"] == "running"
+        assert warm["iteration"] == 0
+        assert warm["elapsed"] == 0.0
+        state = warm["state"]
+        assert state["finished"] is False
+        assert state["steps"] == 0
+        assert state["assignment"] == state["best_assignment"]
+        # The rng state must carry over verbatim — that is what makes
+        # the warm chain a single deterministic random stream.
+        assert warm["rng"] == checkpoint["rng"]
+
+    def test_energy_recomputed_against_new_weights(self, drift):
+        checkpoint, graphs = self._finished_checkpoint(drift)
+        warm = warm_start_checkpoint(checkpoint, graphs[1])
+        from repro.partition import Partition
+        from repro.partition.objectives import get_objective
+
+        objective = checkpoint.get("objective") or "mcut"
+        partition = Partition(
+            graphs[1],
+            np.asarray(warm["state"]["assignment"], dtype=np.int64),
+        )
+        expected = float(get_objective(objective).value(partition))
+        assert warm["state"]["energy"] == expected
+
+    def test_unsupported_method_rejected(self, drift):
+        checkpoint, graphs = self._finished_checkpoint(drift)
+        bad = dict(checkpoint, method="multilevel")
+        with pytest.raises(ConfigurationError, match="warm-start"):
+            warm_start_checkpoint(bad, graphs[1])
+
+    def test_island_checkpoint_rejected(self, drift):
+        checkpoint, graphs = self._finished_checkpoint(drift)
+        bad = dict(checkpoint, islands=4)
+        with pytest.raises(ConfigurationError, match="island"):
+            warm_start_checkpoint(bad, graphs[1])
+
+
+class TestRunDynamic:
+    def test_warm_chain_bit_deterministic(self, drift):
+        r1 = run_dynamic(drift, epochs=3)
+        r2 = run_dynamic(drift, epochs=3)
+        assert len(r1.records) == 3
+        for a, b in zip(r1.records, r2.records):
+            assert np.array_equal(a.assignment, b.assignment)
+            assert a.objective_value == b.objective_value
+            assert a.migration_cost == b.migration_cost
+
+    def test_cold_chain_deterministic_too(self, drift):
+        r1 = run_dynamic(drift, epochs=3, warm=False)
+        r2 = run_dynamic(drift, epochs=3, warm=False)
+        for a, b in zip(r1.records, r2.records):
+            assert np.array_equal(a.assignment, b.assignment)
+
+    def test_epoch_zero_identical_warm_and_cold(self, drift):
+        warm = run_dynamic(drift, epochs=2)
+        cold = run_dynamic(drift, epochs=2, warm=False)
+        assert np.array_equal(
+            warm.records[0].assignment, cold.records[0].assignment
+        )
+        assert warm.records[0].warm is False
+
+    def test_both_modes_balanced_every_epoch(self, drift):
+        for mode in (True, False):
+            result = run_dynamic(drift, epochs=3, warm=mode)
+            for rec in result.records:
+                assert rec.status == "done"
+                assert rec.num_parts == drift.default_k
+                # The caves are symmetric; any sane k=6 partition of the
+                # 6-cave graph stays near-perfectly balanced.
+                assert rec.imbalance <= 1.5
+
+    def test_combined_objective_accounting(self, drift):
+        lam = 2.5
+        result = run_dynamic(drift, epochs=3, migration_lambda=lam)
+        assert result.migration_lambda == lam
+        for rec in result.records:
+            assert rec.combined == rec.objective_value + lam * rec.migration_cost
+        assert result.total_combined == pytest.approx(
+            sum(r.combined for r in result.records)
+        )
+
+    def test_report_epochs_json_safe(self, drift):
+        import json
+
+        payload = run_dynamic(drift, epochs=2).as_dict()
+        json.dumps(payload)
+        assert payload["num_epochs"] == 2
+        assert "assignment" not in payload["epochs"][0]
+
+    def test_validation(self, drift):
+        with pytest.raises(ConfigurationError, match="epochs"):
+            run_dynamic(drift, epochs=1)
+        with pytest.raises(ConfigurationError, match="epochs"):
+            run_dynamic(drift, epochs=drift.num_epochs + 1)
+        with pytest.raises(ConfigurationError, match="migration_lambda"):
+            run_dynamic(drift, migration_lambda=-1.0)
+        with pytest.raises(ConfigurationError, match="rebase"):
+            run_dynamic(drift, method="multilevel")
+
+    def test_cold_fallback_for_unrebasable_method(self, drift):
+        # One-shot methods cannot warm start, but cold dynamic runs are
+        # still well-defined for them.
+        result = run_dynamic(drift, epochs=2, warm=False, method="multilevel")
+        assert [r.status for r in result.records] == ["done", "done"]

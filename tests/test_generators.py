@@ -11,6 +11,7 @@ from repro.graph import (
     grid_graph,
     is_connected,
     path_graph,
+    powerlaw_graph,
     random_geometric_graph,
     star_graph,
     torus_graph,
@@ -122,3 +123,53 @@ class TestRandomGeometric:
             random_geometric_graph(0, 0.1)
         with pytest.raises(GraphError):
             random_geometric_graph(5, 0.0)
+
+
+class TestPowerlaw:
+    def test_size_and_connectivity(self):
+        g = powerlaw_graph(100, 3, seed=0)
+        assert g.num_vertices == 100
+        # Preferential attachment adds exactly m edges per new vertex.
+        assert g.num_edges == 3 * (100 - 3)
+        assert is_connected(g)
+
+    def test_deterministic_given_seed(self):
+        g1 = powerlaw_graph(80, 2, seed=9)
+        g2 = powerlaw_graph(80, 2, seed=9)
+        assert g1 == g2
+
+    def test_seed_changes_graph(self):
+        assert powerlaw_graph(80, 2, seed=1) != powerlaw_graph(80, 2, seed=2)
+
+    def test_heavy_tailed_degrees(self):
+        g = powerlaw_graph(400, 3, seed=0)
+        degrees = np.array([g.degree(v) for v in range(g.num_vertices)])
+        # Hubs: the max degree dwarfs the median; the bulk stays near
+        # the attachment minimum.  Both are signatures a uniform random
+        # graph of the same density does not show.
+        assert degrees.max() >= 6 * np.median(degrees)
+        assert np.median(degrees) <= 2 * 3 + 1
+        assert degrees.min() >= 3
+
+    def test_early_vertices_are_hubs(self):
+        g = powerlaw_graph(300, 3, seed=4)
+        early = np.mean([g.degree(v) for v in range(10)])
+        late = np.mean([g.degree(v) for v in range(290, 300)])
+        assert early > 3 * late
+
+    def test_unit_integral_weights(self):
+        g = powerlaw_graph(50, 2, seed=0)
+        _, _, w = g.edge_arrays()
+        assert np.all(w == 1.0)
+        assert g.has_integral_weights
+
+    def test_custom_weight(self):
+        g = powerlaw_graph(30, 2, seed=0, weight=2.0)
+        _, _, w = g.edge_arrays()
+        assert np.all(w == 2.0)
+
+    def test_bad_arguments(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(5, 0)
+        with pytest.raises(GraphError):
+            powerlaw_graph(3, 3)  # needs n > m

@@ -1,0 +1,189 @@
+"""Unit tests for the workload instance registry.
+
+Covers the three registry contracts: name resolution (canonical names,
+aliases, did-you-mean errors), metadata completeness for every
+registered instance, and build determinism — same name + same seed must
+produce a bit-identical graph (checked via the CSR content fingerprint)
+for every family, including the seeded random ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.workloads import (
+    INSTANCE_REGISTRY,
+    TIER_LARGE,
+    TIER_SMALL,
+    QualityBand,
+    WorkloadInstance,
+    build_instance,
+    canonical_instance,
+    get_instance,
+    graph_fingerprint,
+    instance_aliases,
+    list_instances,
+    register_instance,
+)
+from repro.workloads.dynamic import DynamicInstance
+
+ALL_NAMES = sorted(INSTANCE_REGISTRY)
+STATIC_NAMES = [
+    n for n in ALL_NAMES
+    if not isinstance(INSTANCE_REGISTRY[n], DynamicInstance)
+]
+
+
+class TestResolution:
+    def test_canonical_passthrough(self):
+        assert canonical_instance("grid-16") == "grid-16"
+
+    def test_case_insensitive(self):
+        assert canonical_instance("GRID-16") == "grid-16"
+        assert canonical_instance("  Torus  ") == "torus-12"
+
+    @pytest.mark.parametrize("alias,name", [
+        ("grid", "grid-16"),
+        ("grid16", "grid-16"),
+        ("torus", "torus-12"),
+        ("caveman", "caveman-8x6"),
+        ("geometric", "geometric-150"),
+        ("mesh", "mesh-200"),
+        ("powerlaw", "powerlaw-200"),
+        ("ba-2000", "powerlaw-2000"),
+        ("atc", "atc-core"),
+        ("europe", "atc-core"),
+        ("drift", "caveman-drift"),
+        ("day", "atc-day"),
+    ])
+    def test_aliases(self, alias, name):
+        assert canonical_instance(alias) == name
+
+    def test_did_you_mean(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            canonical_instance("grid-17")
+        with pytest.raises(
+            ConfigurationError, match=r"did you mean 'caveman-drift'"
+        ):
+            canonical_instance("caveman-drif")
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(ConfigurationError, match="known instances"):
+            canonical_instance("zzz-no-such-thing")
+
+    def test_get_instance_via_alias(self):
+        assert get_instance("atc").name == "atc-core"
+
+    def test_aliases_listed(self):
+        assert "grid" in instance_aliases("grid-16")
+        assert instance_aliases("grid-16") == instance_aliases("grid")
+
+    def test_list_sorted(self):
+        names = [inst.name for inst in list_instances()]
+        assert names == sorted(names)
+        assert set(names) == set(ALL_NAMES)
+
+    def test_build_rejects_dynamic(self):
+        with pytest.raises(ConfigurationError, match="run_dynamic"):
+            build_instance("atc-day")
+
+
+class TestRegistration:
+    def _dummy(self, name="dummy-1"):
+        return WorkloadInstance(
+            name=name, family="dummy", tier=TIER_SMALL,
+            description="x", default_k=2, size_hint="n=3",
+            builder=lambda seed: None,
+        )
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_instance(self._dummy("grid-16"))
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_instance(self._dummy(), aliases=("torus",))
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(ConfigurationError, match="tier"):
+            WorkloadInstance(
+                name="x", family="y", tier="medium", description="z",
+                default_k=2, size_hint="", builder=lambda seed: None,
+            )
+
+    def test_bad_band_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="cut_lo"):
+            QualityBand("multilevel", 0, cut_lo=10.0, cut_hi=5.0,
+                        max_imbalance=1.1)
+        with pytest.raises(ConfigurationError, match="max_imbalance"):
+            QualityBand("multilevel", 0, cut_lo=1.0, cut_hi=2.0,
+                        max_imbalance=0.9)
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_card_complete(self, name):
+        inst = INSTANCE_REGISTRY[name]
+        meta = inst.metadata()
+        for key in ("name", "kind", "family", "tier", "description",
+                    "default_k", "default_seed", "size_hint", "tags"):
+            assert key in meta, f"{name} metadata missing {key}"
+        assert meta["name"] == name
+        assert meta["kind"] in ("static", "dynamic")
+        assert meta["tier"] in (TIER_SMALL, TIER_LARGE)
+        assert meta["description"]
+        assert meta["size_hint"]
+        assert meta["default_k"] >= 2
+        import json
+        json.dumps(meta)  # every card must be JSON-serialisable
+
+    @pytest.mark.parametrize("name", STATIC_NAMES)
+    def test_static_instances_have_bands(self, name):
+        inst = INSTANCE_REGISTRY[name]
+        assert inst.bands, f"{name} has no frozen quality bands"
+        for band in inst.bands:
+            assert band.cut_lo <= band.cut_hi
+            assert band.max_imbalance >= 1.0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_default_k_feasible(self, name):
+        inst = INSTANCE_REGISTRY[name]
+        graph = (
+            inst.base_graph() if isinstance(inst, DynamicInstance)
+            else inst.build()
+        )
+        assert 2 <= inst.default_k <= graph.num_vertices
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", STATIC_NAMES)
+    def test_same_seed_same_fingerprint(self, name):
+        g1 = build_instance(name)
+        g2 = build_instance(name)
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+        assert g1.num_vertices == g2.num_vertices
+        assert g1.num_edges == g2.num_edges
+
+    @pytest.mark.parametrize("name", ["geometric-150", "mesh-200",
+                                      "powerlaw-200"])
+    def test_seed_changes_random_families(self, name):
+        g1 = build_instance(name, seed=1)
+        g2 = build_instance(name, seed=2)
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_fingerprint_sees_weights(self):
+        from repro.graph import Graph
+
+        g1 = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        g2 = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 1.0)])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    @pytest.mark.parametrize("name", ["caveman-drift", "atc-day"])
+    def test_dynamic_epochs_deterministic(self, name):
+        inst = get_instance(name)
+        fps1 = [graph_fingerprint(g) for g in inst.epoch_graphs()]
+        fps2 = [graph_fingerprint(g) for g in inst.epoch_graphs()]
+        assert fps1 == fps2
+        assert len(fps1) == inst.num_epochs
+        # The diurnal cycle must actually vary the weights across epochs.
+        assert len(set(fps1)) > 1
