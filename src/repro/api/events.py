@@ -32,6 +32,7 @@ bundled file observer behind ``repro solve --events events.jsonl``.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO
@@ -110,12 +111,25 @@ class JsonlEventWriter:
 
     The file is opened lazily on the first event so a run that emits
     nothing leaves no empty artifact behind.
+
+    ``fsync=True`` additionally syncs the file to disk after every
+    event: the mode the solve service runs its per-job event logs in, so
+    a server killed outright (SIGKILL, power loss) loses no events the
+    OS had merely buffered.  The default stays flush-only — durable
+    enough for live tailing, with no per-event syscall cost.
+
+    ``append=True`` continues an existing stream instead of truncating
+    it on the first event — how the service extends a job's event log
+    across solve slices (and across server restarts).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, fsync: bool = False, append: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         self._fh: IO[str] | None = None
-        self._opened = False
+        self._opened = append
         self.events_written = 0
 
     def __call__(self, event: SolveEvent) -> None:
@@ -129,6 +143,8 @@ class JsonlEventWriter:
         # Flush per event: the stream exists to be tailed live, and a
         # preempted/killed run must not lose its trailing events.
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
         self.events_written += 1
 
     def close(self) -> None:

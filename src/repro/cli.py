@@ -58,6 +58,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.registry import METHOD_FACTORIES, list_methods
+from repro.common.atomic import atomic_write_json
 from repro.common.exceptions import GraphError, ReproError
 from repro.graph import (
     Graph,
@@ -201,9 +202,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         report = session.run()
         # Artifacts land before anything is printed (closed-pipe
         # safety); the checkpoint event still reaches the open writer.
+        # The write is atomic (temp + rename): a crash mid-write leaves
+        # the previous checkpoint intact instead of a torn JSON file.
         if args.checkpoint:
-            Path(args.checkpoint).write_text(
-                json.dumps(session.checkpoint(), indent=1) + "\n"
+            atomic_write_json(
+                args.checkpoint, session.checkpoint(), indent=1
             )
     finally:
         if writer is not None:
@@ -498,6 +501,137 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the partitioning service until interrupted."""
+    import asyncio
+
+    from repro.api.request import parse_duration
+    from repro.engine.faults import FaultInjector
+    from repro.engine.retry import RetryPolicy
+    from repro.service import ServiceConfig, ServiceHTTP, SolveService
+
+    faults = FaultInjector.parse(args.faults) if args.faults else None
+    slice_seconds = (
+        None if str(args.slice).lower() in ("none", "off")
+        else parse_duration(args.slice)
+    )
+    config = ServiceConfig(
+        data_dir=Path(args.data_dir),
+        workers=args.workers,
+        slice_seconds=slice_seconds,
+        slice_iterations=args.slice_iterations,
+        retry=RetryPolicy(
+            max_attempts=1 + args.retries, backoff=args.retry_backoff
+        ),
+        faults=faults,
+        event_fsync=args.event_fsync,
+    )
+    service = SolveService(config)
+    http = ServiceHTTP(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await http.start()
+        print(
+            f"repro service on http://{http.host}:{http.port} "
+            f"(data: {config.data_dir}, workers: {config.workers}, "
+            f"recovered jobs: {service.recovered_jobs})",
+            file=sys.stderr,
+        )
+        try:
+            await http.serve_forever()
+        finally:
+            await http.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service (and optionally wait)."""
+    from repro.service import ServiceClient
+
+    if args.server:
+        host, _, port = args.server.partition(":")
+        client = ServiceClient(host or "127.0.0.1", int(port or 8123))
+    elif args.data_dir:
+        client = ServiceClient.discover(args.data_dir, wait_seconds=args.wait_server)
+    else:
+        raise ReproError("submit needs --server HOST:PORT or --data-dir DIR")
+
+    payload: dict = {
+        "k": args.k,
+        "method": args.method,
+        "seed": args.seed,
+        "tenant": args.tenant,
+    }
+    if args.instance:
+        payload["instance"] = args.instance
+    elif args.input:
+        graph = read_graph_auto(args.input)
+        us, vs, ws = graph.edge_arrays()
+        payload["graph"] = {
+            "n": graph.num_vertices,
+            "edges": [
+                [int(u), int(v), float(w)] for u, v, w in zip(us, vs, ws)
+            ],
+            "vertex_weights": graph.vertex_weights.tolist(),
+        }
+        payload["name"] = Path(args.input).stem
+    else:
+        raise ReproError("submit needs a graph file or --instance NAME")
+    if args.k is None:
+        payload.pop("k")
+    if args.objective:
+        payload["objective"] = args.objective
+    if args.iterations is not None:
+        payload["max_iterations"] = args.iterations
+    if args.weight is not None:
+        payload["weight"] = args.weight
+    if args.islands != 1:
+        payload["islands"] = args.islands
+
+    card = client.submit(payload)
+    print(f"submitted {card['id']} (tenant {card['tenant']}, "
+          f"state {card['state']})", file=sys.stderr)
+    if not (args.wait or args.events):
+        print(card["id"])
+        return 0
+    if args.events:
+        for name, data in client.iter_events(card["id"]):
+            if name == "end":
+                break
+            print(json.dumps(data))
+    # After an --events stream the job is already terminal; wait() is
+    # then a single status poll.
+    card = client.wait(card["id"])
+    print(
+        f"{card['id']}: {card['state']} after {card['slices']} slice(s), "
+        f"{card['iterations']} iteration(s)"
+        + (" [cache hit]" if card.get("cached") else ""),
+        file=sys.stderr,
+    )
+    if card["state"] != "done":
+        envelope = client.result(card["id"])
+        print(f"error: {envelope.get('error')}", file=sys.stderr)
+        return 2
+    envelope = client.result(card["id"])
+    result = envelope.get("result") or {}
+    if args.output:
+        assignment = result.get("assignment")
+        if assignment is None:
+            raise ReproError("result carries no assignment to write")
+        _write_assignment(np.asarray(assignment, dtype=np.int64),
+                          args.output)
+    summary = {key: result.get(key) for key in
+               ("status", "method", "objective", "objective_value",
+                "num_parts", "iterations", "seconds")}
+    print(json.dumps(summary, indent=1))
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     graph = read_graph_auto(args.input)
     write_graph_auto(graph, args.output)
@@ -687,6 +821,81 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--m", type=int, default=3,
                    help="powerlaw: edges per new vertex (BA attachment)")
     g.set_defaults(func=_cmd_generate)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the partitioning service (HTTP + SSE, fair-share "
+             "scheduling, durable checkpoints, result cache)",
+    )
+    sv.add_argument("--data-dir", required=True,
+                    help="durable state root (jobs, events, cache, "
+                         "server.json); restartable — in-flight jobs "
+                         "recover from their last checkpoint")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is "
+                         "advertised in <data-dir>/server.json)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="concurrent solve slices (queue depth is "
+                         "unbounded)")
+    sv.add_argument("--slice", default="250ms",
+                    help="wall-clock budget of one solve slice, e.g. "
+                         "'250ms', '2s'; 'none' disables the time slice")
+    sv.add_argument("--slice-iterations", type=int, default=None,
+                    help="session-iteration budget of one slice "
+                         "(deterministic slicing for tests)")
+    sv.add_argument("--retries", type=int, default=0,
+                    help="extra attempts per failed job (crash/timeout/"
+                         "transient kinds; resumes from the last "
+                         "durable checkpoint)")
+    sv.add_argument("--retry-backoff", type=float, default=0.1,
+                    help="seconds before the first retry (doubles)")
+    sv.add_argument("--faults", default=None,
+                    help="deterministic chaos spec, e.g. 'crash@0,0,1'; "
+                         "the job submission ordinal is the spec index")
+    sv.add_argument("--event-fsync", action="store_true",
+                    help="fsync per-job event logs per event (streams "
+                         "survive SIGKILL along with the checkpoints)")
+    sv.set_defaults(func=_cmd_serve)
+
+    sb = sub.add_parser(
+        "submit",
+        help="submit one job to a running service; optionally stream "
+             "events and wait for the result",
+    )
+    sb.add_argument("input", nargs="?", default=None,
+                    help="graph file (inlined as JSON), or use --instance")
+    sb.add_argument("--instance", default=None,
+                    help="registered workload instance name instead of "
+                         "a graph file")
+    sb.add_argument("--server", default=None,
+                    help="service address HOST:PORT")
+    sb.add_argument("--data-dir", default=None,
+                    help="discover the server from <dir>/server.json")
+    sb.add_argument("--wait-server", type=float, default=5.0,
+                    help="seconds to wait for server.json to appear")
+    sb.add_argument("-k", type=int, default=None,
+                    help="number of parts (instance default if omitted)")
+    sb.add_argument("--method", default="fusion-fission")
+    sb.add_argument("--objective", default=None,
+                    choices=["cut", "ncut", "mcut"])
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--iterations", type=int, default=None,
+                    help="session-iteration cap for the job")
+    sb.add_argument("--islands", type=int, default=1)
+    sb.add_argument("--tenant", default="default",
+                    help="fair-share accounting bucket")
+    sb.add_argument("--weight", type=float, default=None,
+                    help="tenant's fair-share weight (CPU share ratio)")
+    sb.add_argument("--wait", action="store_true",
+                    help="block until the job is terminal; print the "
+                         "result summary")
+    sb.add_argument("--events", action="store_true",
+                    help="stream the job's SSE events to stdout as "
+                         "JSONL (implies waiting)")
+    sb.add_argument("-o", "--output", default=None,
+                    help="write the final assignment here (with --wait)")
+    sb.set_defaults(func=_cmd_submit)
 
     c = sub.add_parser("convert", help="transcode graph formats")
     c.add_argument("input")

@@ -11,6 +11,7 @@ is the shared wall-clock budget type used by both the metaheuristic inner
 loops and the engine's cancellation logic.
 """
 
+from repro.common.atomic import atomic_write_json, atomic_write_text
 from repro.common.exceptions import (
     GraphError,
     PartitionError,
@@ -29,4 +30,6 @@ __all__ = [
     "spawn_rngs",
     "Timer",
     "Deadline",
+    "atomic_write_text",
+    "atomic_write_json",
 ]

@@ -1,0 +1,72 @@
+"""Crash-safe file writes: write-temp + ``os.replace``.
+
+Checkpoints and job records are the recovery substrate of the service
+plane — a half-written JSON file after a crash is strictly worse than a
+stale one, because it poisons the resume path instead of merely losing a
+slice of progress.  Every durable artifact therefore goes through
+:func:`atomic_write_text`: the bytes land in a temporary file in the
+*same directory* (so the final rename never crosses a filesystem), are
+flushed and fsynced, and only then atomically renamed over the target.
+A reader can observe the old content or the new content, never a mix.
+
+``repro solve --checkpoint`` and the service's checkpoint/job/cache
+stores all share this one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(
+    path: str | Path, text: str, fsync_dir: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``text`` (durable on return).
+
+    The temporary file is created next to the target so ``os.replace``
+    is a same-filesystem rename (atomic on POSIX).  ``fsync_dir`` also
+    syncs the containing directory, making the *rename itself* durable —
+    the mode the service's checkpoint store runs in; pass False to skip
+    that extra syscall for artifacts that only need tear-resistance.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync_dir:
+        try:
+            dir_fd = os.open(target.parent, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory opens; rename still atomic
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, indent: int | None = None,
+    fsync_dir: bool = True,
+) -> None:
+    """:func:`atomic_write_text` for a JSON-serialisable payload."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent) + "\n", fsync_dir=fsync_dir
+    )

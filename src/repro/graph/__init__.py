@@ -14,6 +14,7 @@ also provides:
 """
 
 from repro.graph.graph import Graph
+from repro.graph.fingerprint import arrays_fingerprint, graph_fingerprint
 from repro.graph.store import GraphHandle, GraphStore
 from repro.graph.builder import GraphBuilder
 from repro.graph.connectivity import (
@@ -59,6 +60,8 @@ from repro.graph.io import (
 
 __all__ = [
     "Graph",
+    "arrays_fingerprint",
+    "graph_fingerprint",
     "GraphHandle",
     "GraphStore",
     "GraphBuilder",

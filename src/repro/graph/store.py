@@ -41,12 +41,12 @@ import os
 import pickle
 import secrets
 from dataclasses import dataclass, field
-from hashlib import blake2b
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 from repro.common.exceptions import GraphError
+from repro.graph.fingerprint import arrays_fingerprint as _content_hash
 
 __all__ = ["GraphHandle", "GraphStore", "pickled_graph_bytes"]
 
@@ -55,14 +55,6 @@ SEGMENT_PREFIX = "repro-graph-"
 
 #: CSR array fields in their fixed segment-layout order.
 _FIELDS = ("indptr", "indices", "weights", "vertex_weights")
-
-
-def _content_hash(arrays: tuple[np.ndarray, ...]) -> str:
-    digest = blake2b(digest_size=16)
-    for arr in arrays:
-        digest.update(str(arr.shape).encode())
-        digest.update(np.ascontiguousarray(arr).tobytes())
-    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,49 @@
+"""Partitioning-as-a-service: the async multi-tenant solve server.
+
+The service plane turns the library's pausable
+:class:`~repro.api.session.SolveSession` into a long-running server:
+clients submit partitioning jobs over HTTP, a fair-share scheduler
+time-slices concurrent jobs across a bounded worker pool, every slice
+boundary durably checkpoints to disk (crash-safe, bit-deterministic
+recovery), finished results land in a content-addressed cache, and
+progress streams out live as Server-Sent Events.
+
+Modules
+-------
+:mod:`repro.service.jobs`
+    Job specs (validated request envelopes), job records, cache keys.
+:mod:`repro.service.scheduler`
+    Deterministic stride (weighted fair-share) scheduler.
+:mod:`repro.service.store`
+    Atomic on-disk job store + durable result cache.
+:mod:`repro.service.service`
+    The service core: submission, slice execution, recovery, retries.
+:mod:`repro.service.http`
+    Stdlib asyncio HTTP/1.1 + SSE front end (``repro serve``).
+:mod:`repro.service.client`
+    Blocking client used by ``repro submit`` and the tests.
+
+See ``docs/service.md`` for the endpoint reference and the durability
+contract.
+"""
+
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.http import ServiceHTTP
+from repro.service.jobs import Job, JobSpec, cache_key
+from repro.service.scheduler import FairShareScheduler
+from repro.service.service import ServiceConfig, SolveService
+from repro.service.store import JobStore, ResultCache
+
+__all__ = [
+    "FairShareScheduler",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTP",
+    "ServiceHTTPError",
+    "SolveService",
+    "cache_key",
+]

@@ -1,0 +1,173 @@
+"""Blocking HTTP client of the solve service (stdlib ``http.client``).
+
+The client a test harness or the ``repro submit`` CLI uses — it talks
+plain HTTP/1.1, so nothing here assumes the server is this codebase's
+:class:`~repro.service.http.ServiceHTTP` beyond the endpoint contract.
+
+Two ways to point it at a server::
+
+    ServiceClient(host="127.0.0.1", port=8123)     # explicit address
+    ServiceClient.discover("runs/service")          # read server.json
+
+``discover`` reads the ``server.json`` the server atomically writes at
+bind time, which is what makes ``repro serve --port 0`` (ephemeral
+port) composable with scripts: they share only the data directory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Iterator
+
+from repro.common.exceptions import ReproError
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Minimal synchronous client for the service's JSON endpoints."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8123,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def discover(
+        cls, data_dir: str | Path, timeout: float = 60.0,
+        wait_seconds: float = 0.0,
+    ) -> "ServiceClient":
+        """Build a client from the ``server.json`` under ``data_dir``.
+
+        ``wait_seconds`` > 0 polls for the file to appear — the standard
+        dance when the caller just spawned ``repro serve`` and the
+        server hasn't bound yet.
+        """
+        path = Path(data_dir) / "server.json"
+        deadline = time.monotonic() + wait_seconds
+        while True:
+            try:
+                info = json.loads(path.read_text())
+                return cls(info["host"], int(info["port"]), timeout=timeout)
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"no live server advertised under {data_dir!s} "
+                        f"(missing or unreadable {path.name})"
+                    ) from None
+                time.sleep(0.05)
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{method} {path}: server sent invalid JSON: {exc}"
+                ) from exc
+            if response.status >= 400:
+                raise ServiceHTTPError(
+                    response.status, data.get("error", raw.decode(errors="replace"))
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, payload: dict) -> dict:
+        """Submit one solve job; returns its job card."""
+        return self._request("POST", "/jobs", payload)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Result envelope of a terminal job (409 → ServiceHTTPError)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Poll until ``job_id`` is terminal; returns the final card."""
+        deadline = time.monotonic() + timeout
+        while True:
+            card = self.status(job_id)
+            if card["state"] in ("done", "failed", "cancelled"):
+                return card
+            if time.monotonic() > deadline:
+                raise ReproError(
+                    f"job {job_id} still {card['state']} after {timeout:g}s"
+                )
+            time.sleep(0.05)
+
+    def iter_events(
+        self, job_id: str, timeout: float = 300.0
+    ) -> Iterator[tuple[str, dict]]:
+        """Stream the job's SSE feed as ``(event_name, data)`` pairs.
+
+        Generates until the server closes the stream; the final pair is
+        ``("end", <job card>)``.  A dedicated connection per call — SSE
+        responses never share a socket with the JSON endpoints.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except json.JSONDecodeError:
+                    message = raw.decode(errors="replace")
+                raise ServiceHTTPError(response.status, message)
+            name, data = "message", None
+            for raw_line in response:
+                line = raw_line.decode("utf-8", errors="replace").rstrip("\n")
+                if line.startswith("event:"):
+                    name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data = line[len("data:"):].strip()
+                elif line == "" and data is not None:
+                    try:
+                        parsed = json.loads(data)
+                    except json.JSONDecodeError:
+                        parsed = {"raw": data}
+                    yield name, parsed
+                    if name == "end":
+                        return
+                    name, data = "message", None
+        finally:
+            conn.close()

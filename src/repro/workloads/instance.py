@@ -18,13 +18,11 @@ The registry half (register/alias/resolve) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from hashlib import blake2b
 from typing import Any, Callable
-
-import numpy as np
 
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import SeedLike
+from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.graph import Graph
 from repro.partition.metrics import PartitionReport
 
@@ -45,20 +43,10 @@ TIER_LARGE = "large"
 _TIERS = (TIER_SMALL, TIER_LARGE)
 
 
-def graph_fingerprint(graph: Graph) -> str:
-    """Content hash of a graph's CSR arrays (stable across processes).
-
-    Two graphs have the same fingerprint iff their ``indptr``,
-    ``indices``, ``weights`` and ``vertex_weights`` arrays are
-    bit-identical — the determinism contract every registered builder is
-    tested against (same name + same seed → same fingerprint).
-    """
-    digest = blake2b(digest_size=16)
-    for arr in (graph.indptr, graph.indices, graph.weights,
-                graph.vertex_weights):
-        digest.update(str(arr.shape).encode())
-        digest.update(np.ascontiguousarray(arr).tobytes())
-    return digest.hexdigest()
+# ``graph_fingerprint`` was born here; it now lives in
+# :mod:`repro.graph.fingerprint` (one implementation shared with
+# ``GraphStore`` and the service result cache) and is re-exported for
+# every caller that imports it from the workloads package.
 
 
 @dataclass(frozen=True)
